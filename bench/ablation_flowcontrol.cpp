@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: how much of the Figure 8 result depends on the Table 2
+ * flow-control configuration?
+ *
+ * Sweeps virtual channel count and buffer depth at saturation on the
+ * equal-resources CFT/RFC pair.  The paper uses 4 VCs "to reduce
+ * head-of-line blocking"; this bench quantifies that choice and shows
+ * the CFT-vs-RFC ranking is robust to it.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "clos/fat_tree.hpp"
+#include "clos/rfc.hpp"
+#include "util/rng.hpp"
+
+using namespace rfc;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    banner(opts, "Ablation: virtual channels and buffer depth");
+    const bool full = opts.fullScale();
+    const int radix = static_cast<int>(
+        opts.getInt("radix", full ? 36 : 12));
+    Rng rng(opts.getInt("seed", 21));
+
+    auto cft = buildCft(radix, 3);
+    auto built = buildRfc(radix, 3, cft.numLeaves(), rng);
+    UpDownOracle o_cft(cft), o_rfc(built.topology);
+
+    SimConfig base;
+    base.warmup = opts.getInt("warmup", full ? 2000 : 500);
+    base.measure = opts.getInt("measure", full ? 6000 : 1500);
+    base.seed = opts.getInt("seed", 21);
+
+    TablePrinter t({"vcs", "buf", "thr(CFT)", "lat(CFT)", "thr(RFC)",
+                    "lat(RFC)"});
+    for (int vcs : {1, 2, 4, 8}) {
+        for (int buf : {2, 4, 8}) {
+            SimConfig cfg = base;
+            cfg.vcs = vcs;
+            cfg.buf_packets = buf;
+            UniformTraffic t1, t2;
+            auto r1 = saturationThroughput(cft, o_cft, t1, cfg, 1);
+            auto r2 = saturationThroughput(built.topology, o_rfc, t2,
+                                           cfg, 1);
+            t.addRow({std::to_string(vcs), std::to_string(buf),
+                      TablePrinter::fmt(r1.accepted, 3),
+                      TablePrinter::fmt(r1.avg_latency, 1),
+                      TablePrinter::fmt(r2.accepted, 3),
+                      TablePrinter::fmt(r2.avg_latency, 1)});
+        }
+    }
+    emit(opts, "uniform traffic at saturation (offered 1.0)", t);
+
+    // Pairing is the pattern most sensitive to HoL blocking.
+    TablePrinter p({"vcs", "thr(CFT)", "thr(RFC)", "RFC/CFT"});
+    for (int vcs : {1, 2, 4, 8}) {
+        SimConfig cfg = base;
+        cfg.vcs = vcs;
+        RandomPairingTraffic t1, t2;
+        auto r1 = saturationThroughput(cft, o_cft, t1, cfg, 1);
+        auto r2 =
+            saturationThroughput(built.topology, o_rfc, t2, cfg, 1);
+        p.addRow({std::to_string(vcs),
+                  TablePrinter::fmt(r1.accepted, 3),
+                  TablePrinter::fmt(r2.accepted, 3),
+                  TablePrinter::fmtPct(r2.accepted / r1.accepted, 1)});
+    }
+    emit(opts, "random-pairing at saturation vs VC count", p);
+    return 0;
+}

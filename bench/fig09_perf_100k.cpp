@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 9: the intermediate-expansion scenario - 3-level RFC vs
+ * 4-level CFT at the same terminal count.
+ *
+ * Paper configuration: R = 36, 100,008 terminals (RFC N1 = 5,556; the
+ * CFT needs 4 levels and keeps free ports).  The headline effects are
+ * the ~15-20% RFC latency advantage from one fewer level and a modest
+ * random-pairing throughput deficit.
+ *
+ * Default (sandbox) scale: CFT(8,4) with 512 terminals vs RFC(16,3)
+ * with 512 terminals - the level count difference is preserved.
+ * --full runs the paper configuration (slow: ~10^5 terminals).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "clos/fat_tree.hpp"
+#include "clos/rfc.hpp"
+#include "util/rng.hpp"
+
+using namespace rfc;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    banner(opts, "Figure 9: 100K scenario (3-level RFC vs 4-level CFT)");
+    const bool full = opts.fullScale();
+    Rng rng(opts.getInt("seed", 9));
+
+    FoldedClos cft = full ? buildCft(36, 4) : buildCft(8, 4);
+    // The paper's 100K CFT is partially equipped ("free ports for
+    // future expansion"); model it as a plane-pruned CFT with half the
+    // roots - Section 5's "convenient pruning".
+    int cft_radix = full ? 36 : 8;
+    FoldedClos pruned = buildPrunedCft(
+        cft_radix, 4, cft.switchesAtLevel(4) / 2);
+    int rfc_radix = full ? 36 : 16;
+    int n1 = full ? 5556
+                  : static_cast<int>(cft.numTerminals() / (rfc_radix / 2));
+    auto built = buildRfc(rfc_radix, 3, n1, rng);
+    if (!built.routable)
+        std::cout << "warning: RFC not routable\n";
+
+    UpDownOracle o_cft(cft), o_pruned(pruned), o_rfc(built.topology);
+    std::cout << "CFT(l=4) terminals: " << cft.numTerminals() << "\n"
+              << "pruned CFT roots:   " << pruned.switchesAtLevel(4)
+              << " of " << cft.switchesAtLevel(4) << "\n"
+              << "RFC(l=3) terminals: " << built.topology.numTerminals()
+              << "\n\n";
+
+    SimConfig base;
+    base.warmup = opts.getInt("warmup", full ? 3000 : 600);
+    base.measure = opts.getInt("measure", full ? 10000 : 2000);
+    base.seed = opts.getInt("seed", 9);
+    auto loads = loadRange(opts.getDouble("min-load", 0.2),
+                           opts.getDouble("max-load", 1.0),
+                           static_cast<int>(opts.getInt("points", 7)));
+    int reps = static_cast<int>(opts.getInt("trials", full ? 5 : 1));
+
+    std::vector<PerfNetwork> nets{
+        {"CFT4", &cft, &o_cft},
+        {"CFT4-half", &pruned, &o_pruned},
+        {"RFC3", &built.topology, &o_rfc},
+    };
+    runPerfScenario(opts, nets,
+                    {"uniform", "random-pairing", "fixed-random"}, loads,
+                    base, reps);
+    return 0;
+}

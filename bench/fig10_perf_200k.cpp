@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 10: the maximum-expansion scenario - the largest 3-level RFC
+ * vs the 4-level CFT.
+ *
+ * Paper configuration: R = 36; RFC at its Theorem 4.2 limit (N1 =
+ * 11,254, 202,572 terminals) vs CFT with 209,952 terminals.  Expected
+ * shapes: equal uniform/fixed-random throughput, ~15% lower RFC
+ * latency, larger (~22%) random-pairing deficit than at 100K.
+ *
+ * Default (sandbox) scale: R = 12; RFC at its own threshold (N1 = 232,
+ * 1,392 terminals) vs CFT(12,4) (2,592 terminals) - like the paper,
+ * the RFC sits at its routability limit while the CFT is full.
+ * --full runs the paper configuration (very slow: ~2*10^5 terminals).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "clos/fat_tree.hpp"
+#include "clos/rfc.hpp"
+#include "util/rng.hpp"
+
+using namespace rfc;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    banner(opts, "Figure 10: 200K scenario (max 3-level RFC vs 4-level "
+                 "CFT)");
+    const bool full = opts.fullScale();
+    Rng rng(opts.getInt("seed", 10));
+
+    const int radix = full ? 36 : 12;
+    FoldedClos cft = buildCft(radix, 4);
+    int n1 = rfcMaxLeaves(radix, 3);
+    auto built = buildRfc(radix, 3, n1, rng, 50);
+    if (!built.routable)
+        std::cout << "warning: RFC not routable after 50 attempts "
+                     "(expected ~e attempts at the threshold)\n";
+
+    UpDownOracle o_cft(cft), o_rfc(built.topology);
+    std::cout << "CFT(l=4) terminals: " << cft.numTerminals() << "\n"
+              << "RFC(l=3) terminals: " << built.topology.numTerminals()
+              << " (threshold N1 = " << n1 << ", attempts = "
+              << built.attempts << ")\n\n";
+
+    SimConfig base;
+    base.warmup = opts.getInt("warmup", full ? 3000 : 600);
+    base.measure = opts.getInt("measure", full ? 10000 : 2000);
+    base.seed = opts.getInt("seed", 10);
+    auto loads = loadRange(opts.getDouble("min-load", 0.2),
+                           opts.getDouble("max-load", 1.0),
+                           static_cast<int>(opts.getInt("points", 7)));
+    int reps = static_cast<int>(opts.getInt("trials", full ? 5 : 1));
+
+    std::vector<PerfNetwork> nets{
+        {"CFT4", &cft, &o_cft},
+        {"RFC3", &built.topology, &o_rfc},
+    };
+    runPerfScenario(opts, nets,
+                    {"uniform", "random-pairing", "fixed-random"}, loads,
+                    base, reps);
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 11: fault tolerance preserving up/down routing at R = 12.
+ *
+ * For RFCs of 2, 3 and 4 levels, sweep the leaf count toward the
+ * Theorem 4.2 threshold and measure the fraction of randomly removed
+ * links tolerated before some leaf pair loses its last common
+ * ancestor.  CFT and OFT appear as isolated points; the 2-level OFT
+ * sits exactly at zero (unique up/down paths).
+ */
+#include <iostream>
+
+#include "analysis/resiliency.hpp"
+#include "bench_common.hpp"
+#include "clos/fat_tree.hpp"
+#include "clos/oft.hpp"
+#include "clos/rfc.hpp"
+#include "util/rng.hpp"
+
+using namespace rfc;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    banner(opts, "Figure 11: up/down-preserving fault tolerance (R=12)");
+    const bool full = opts.fullScale();
+    const int radix = static_cast<int>(opts.getInt("radix", 12));
+    const int trials =
+        static_cast<int>(opts.getInt("trials", full ? 20 : 5));
+    Rng rng(opts.getInt("seed", 11));
+
+    for (int levels : {2, 3, 4}) {
+        int n1_max = rfcMaxLeaves(radix, levels);
+        // Default mode caps the 4-level sweep (oracle rebuilds on large
+        // instances dominate the run time).
+        int cap = full ? n1_max
+                       : std::min(n1_max, levels >= 4 ? 600 : n1_max);
+        TablePrinter t({"N1", "terminals", "x-position vs threshold",
+                        "tolerated links", "ci95"});
+        for (int frac = 1; frac <= 4; ++frac) {
+            int n1 = cap * frac / 4;
+            if (n1 % 2)
+                --n1;
+            if (n1 < std::max(radix, 4))
+                continue;
+            auto built = buildRfc(radix, levels, n1, rng, 100);
+            if (!built.routable)
+                continue;
+            auto stat =
+                updownToleranceStudy(built.topology, trials, rng);
+            t.addRow({TablePrinter::fmtInt(n1),
+                      TablePrinter::fmtInt(
+                          built.topology.numTerminals()),
+                      TablePrinter::fmt(
+                          static_cast<double>(n1) / n1_max, 2),
+                      TablePrinter::fmtPct(stat.mean(), 1),
+                      TablePrinter::fmtPct(stat.ci95(), 1)});
+        }
+        emit(opts,
+             "RFC levels = " + std::to_string(levels) +
+                 " (threshold N1 = " + std::to_string(n1_max) + ")",
+             t);
+    }
+
+    // CFT points: the fixed-capacity networks at this radix.
+    TablePrinter c({"topology", "terminals", "tolerated links", "ci95"});
+    for (int levels : {2, 3, 4}) {
+        auto cft = buildCft(radix, levels);
+        if (!full && cft.numTerminals() > 3000)
+            break;
+        auto stat = updownToleranceStudy(cft, trials, rng);
+        c.addRow({"CFT l=" + std::to_string(levels),
+                  TablePrinter::fmtInt(cft.numTerminals()),
+                  TablePrinter::fmtPct(stat.mean(), 1),
+                  TablePrinter::fmtPct(stat.ci95(), 1)});
+    }
+    int q = radix / 2 - 1;
+    for (int levels : {2, 3}) {
+        auto oft = buildOft(q, levels);
+        if (!full && oft.numTerminals() > 3000)
+            break;
+        auto stat = updownToleranceStudy(oft, trials, rng);
+        c.addRow({"OFT l=" + std::to_string(levels),
+                  TablePrinter::fmtInt(oft.numTerminals()),
+                  TablePrinter::fmtPct(stat.mean(), 1),
+                  TablePrinter::fmtPct(stat.ci95(), 1)});
+    }
+    emit(opts, "CFT / OFT isolated points", c);
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the core algorithms:
+ *
+ *  - Theorem 9.1: the random regular / bipartite generators run in
+ *    O(N Delta ln Delta) expected time - check near-linear scaling
+ *    in N at fixed Delta.
+ *  - Up/down oracle construction (the cost of a routability check,
+ *    which bounds the acceptance loop and fault binary search).
+ *  - One simulated cycle at a saturated load (the unit of Figures
+ *    8-10 cost).
+ */
+#include <benchmark/benchmark.h>
+
+#include "clos/fat_tree.hpp"
+#include "clos/rfc.hpp"
+#include "graph/random_bipartite.hpp"
+#include "graph/random_regular.hpp"
+#include "routing/updown.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void
+BM_RandomRegular(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const int d = static_cast<int>(state.range(1));
+    rfc::Rng rng(1);
+    for (auto _ : state) {
+        auto g = rfc::randomRegularGraph(n, d, rng);
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_RandomRegular)
+    ->Args({256, 8})
+    ->Args({1024, 8})
+    ->Args({4096, 8})
+    ->Args({1024, 4})
+    ->Args({1024, 16})
+    ->Complexity(benchmark::oN);
+
+void
+BM_RandomBipartite(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const int d = static_cast<int>(state.range(1));
+    rfc::Rng rng(2);
+    for (auto _ : state) {
+        auto bg = rfc::randomBipartiteGraph(n, d, n, d, rng);
+        benchmark::DoNotOptimize(bg.adj1.size());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_RandomBipartite)
+    ->Args({256, 8})
+    ->Args({1024, 8})
+    ->Args({4096, 8})
+    ->Complexity(benchmark::oN);
+
+void
+BM_RfcGeneration(benchmark::State &state)
+{
+    const int n1 = static_cast<int>(state.range(0));
+    rfc::Rng rng(3);
+    for (auto _ : state) {
+        auto fc = rfc::buildRfcUnchecked(16, 3, n1, rng);
+        benchmark::DoNotOptimize(fc.numWires());
+    }
+}
+BENCHMARK(BM_RfcGeneration)->Arg(64)->Arg(256)->Arg(512);
+
+void
+BM_OracleBuild(benchmark::State &state)
+{
+    const int n1 = static_cast<int>(state.range(0));
+    rfc::Rng rng(4);
+    auto fc = rfc::buildRfcUnchecked(16, 3, n1, rng);
+    for (auto _ : state) {
+        rfc::UpDownOracle oracle(fc);
+        benchmark::DoNotOptimize(oracle.routable());
+    }
+}
+BENCHMARK(BM_OracleBuild)->Arg(64)->Arg(256)->Arg(512);
+
+void
+BM_SimulatedCycle(benchmark::State &state)
+{
+    // Cost per simulated cycle at saturation on a CFT(16,3), measured
+    // by running fixed-length simulations.
+    auto fc = rfc::buildCft(16, 3);
+    rfc::UpDownOracle oracle(fc);
+    const long long cycles = 400;
+    for (auto _ : state) {
+        rfc::UniformTraffic traffic;
+        rfc::SimConfig cfg;
+        cfg.warmup = 100;
+        cfg.measure = cycles - 100;
+        cfg.load = 1.0;
+        cfg.seed = 5;
+        rfc::Simulator sim(fc, oracle, traffic, cfg);
+        auto r = sim.run();
+        benchmark::DoNotOptimize(r.accepted);
+    }
+    state.SetItemsProcessed(state.iterations() * cycles);
+}
+BENCHMARK(BM_SimulatedCycle);
+
+} // namespace

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Theorem 4.2 validation: the sharp up/down-routability threshold.
+ *
+ * Fix radix and levels, sweep the leaf count N1 through the threshold
+ * and, for each size, generate many RFC wirings and measure the
+ * fraction that admit up/down routing.  The theorem predicts
+ * e^{-e^{-x}} where x is the offset implied by (R, l, N1); at the
+ * threshold (x = 0) this is 1/e, matching the paper's "one success
+ * every three generations" remark.
+ */
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "clos/rfc.hpp"
+#include "routing/updown.hpp"
+#include "util/rng.hpp"
+
+using namespace rfc;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    banner(opts, "Theorem 4.2: sharp threshold for up/down routing");
+    const bool full = opts.fullScale();
+    // Defaults chosen so the asymptotic theorem is visible: 2-level
+    // RFCs at tiny N1 are trivially routable (finite-size effect), so
+    // the default sweep uses 3 levels where N1* ~ 230.
+    const int radix = static_cast<int>(opts.getInt("radix", 12));
+    const int levels = static_cast<int>(opts.getInt("levels", 3));
+    const int gens =
+        static_cast<int>(opts.getInt("generations", full ? 400 : 80));
+    Rng rng(opts.getInt("seed", 42));
+
+    const int n1_star = rfcMaxLeaves(radix, levels);
+    TablePrinter t({"N1", "implied x", "P(routable) predicted",
+                    "P(routable) empirical", "mean pair coverage"});
+
+    for (double rel : {0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5}) {
+        int n1 = static_cast<int>(n1_star * rel);
+        if (n1 % 2)
+            ++n1;
+        if (n1 < radix)
+            continue;
+        // Implied x: (R/2)^{2(l-1)} = (N1/2)(ln C(N1,2) + x).
+        double m = radix / 2.0;
+        double log_pairs = std::log(static_cast<double>(n1)) +
+                           std::log(static_cast<double>(n1 - 1)) -
+                           std::log(2.0);
+        double x = std::pow(m, 2.0 * (levels - 1)) / (n1 / 2.0) -
+                   log_pairs;
+        double predicted = std::exp(-std::exp(-x));
+
+        int ok = 0;
+        double coverage = 0.0;
+        for (int g = 0; g < gens; ++g) {
+            auto fc = buildRfcUnchecked(radix, levels, n1, rng);
+            UpDownOracle oracle(fc);
+            ok += oracle.routable();
+            coverage += oracle.routablePairFraction();
+        }
+        t.addRow({TablePrinter::fmtInt(n1), TablePrinter::fmt(x, 2),
+                  TablePrinter::fmt(predicted, 3),
+                  TablePrinter::fmt(static_cast<double>(ok) / gens, 3),
+                  TablePrinter::fmt(coverage / gens, 4)});
+    }
+    emit(opts,
+         "R=" + std::to_string(radix) + ", l=" + std::to_string(levels) +
+             ", threshold N1* = " + std::to_string(n1_star) + ", " +
+             std::to_string(gens) + " generations per row",
+         t);
+
+    // The paper's practical corollary: the acceptance loop needs ~e
+    // attempts at the threshold.
+    TablePrinter a({"metric", "value"});
+    Rng rng2(opts.getInt("seed", 42) + 1);
+    long long total_attempts = 0;
+    const int builds = full ? 60 : 20;
+    for (int i = 0; i < builds; ++i) {
+        auto built = buildRfc(radix, levels, n1_star, rng2, 1000);
+        total_attempts += built.attempts;
+    }
+    a.addRow({"mean attempts at threshold (expect ~e = 2.72)",
+              TablePrinter::fmt(
+                  static_cast<double>(total_attempts) / builds, 2)});
+    emit(opts, "acceptance-loop cost", a);
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fault drill: what happens to a deployed network as links die?
+ *
+ * Builds a CFT and an equal-resources RFC, then progressively removes
+ * random links, reporting after each batch: physical connectivity,
+ * up/down routability (fraction of leaf pairs with a common ancestor),
+ * and simulated saturation throughput - the Section 7 story as an
+ * operational what-if tool.
+ *
+ * Usage: fault_drill [--radix R] [--levels L] [--batches N]
+ *                    [--batch-frac F] [--seed S]
+ */
+#include <iostream>
+
+#include "rfc/rfc.hpp"
+
+using namespace rfc;
+
+namespace {
+
+struct Snapshot
+{
+    bool connected;
+    double pair_coverage;
+    double throughput;
+};
+
+Snapshot
+probe(const FoldedClos &fc, std::uint64_t seed)
+{
+    Snapshot s;
+    s.connected = isConnected(fc.toGraph());
+    UpDownOracle oracle(fc);
+    s.pair_coverage = oracle.routablePairFraction();
+    UniformTraffic traffic;
+    SimConfig cfg;
+    cfg.load = 1.0;
+    cfg.warmup = 400;
+    cfg.measure = 1200;
+    cfg.seed = seed;
+    Simulator sim(fc, oracle, traffic, cfg);
+    s.throughput = sim.run().accepted;
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const int radix = static_cast<int>(opts.getInt("radix", 12));
+    const int levels = static_cast<int>(opts.getInt("levels", 3));
+    const int batches = static_cast<int>(opts.getInt("batches", 6));
+    const double batch_frac = opts.getDouble("batch-frac", 0.03);
+    Rng rng(opts.getInt("seed", 4));
+
+    auto cft = buildCft(radix, levels);
+    auto built = buildRfc(radix, levels, cft.numLeaves(), rng);
+    auto rfc_net = built.topology;
+    std::cout << "== fault drill: " << cft.name() << " vs "
+              << rfc_net.name() << " (" << cft.numTerminals()
+              << " terminals, " << cft.numWires() << " wires) ==\n\n";
+
+    TablePrinter t({"faulty", "%", "CFT conn", "CFT pairs", "CFT thr",
+                    "RFC conn", "RFC pairs", "RFC thr"});
+    const long long wires = cft.numWires();
+    auto batch =
+        static_cast<std::size_t>(static_cast<double>(wires) * batch_frac);
+    long long removed = 0;
+    for (int b = 0; b <= batches; ++b) {
+        auto s_cft = probe(cft, 100 + b);
+        auto s_rfc = probe(rfc_net, 200 + b);
+        t.addRow({TablePrinter::fmtInt(removed),
+                  TablePrinter::fmtPct(
+                      static_cast<double>(removed) / wires, 1),
+                  s_cft.connected ? "yes" : "NO",
+                  TablePrinter::fmtPct(s_cft.pair_coverage, 1),
+                  TablePrinter::fmt(s_cft.throughput, 3),
+                  s_rfc.connected ? "yes" : "NO",
+                  TablePrinter::fmtPct(s_rfc.pair_coverage, 1),
+                  TablePrinter::fmt(s_rfc.throughput, 3)});
+        if (b == batches)
+            break;
+        removeRandomLinks(cft, batch, rng);
+        removeRandomLinks(rfc_net, batch, rng);
+        removed += static_cast<long long>(batch);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nreading the table: 'pairs' is the fraction of leaf "
+                 "pairs that still have an\nup/down route; throughput "
+                 "is accepted load at saturation under uniform "
+                 "traffic.\nThe RFC keeps pair coverage high longer "
+                 "than a CFT of the same size (Fig 11),\nand the "
+                 "throughput gap closes as faults accumulate (Fig "
+                 "12).\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Topology explorer: compare every indirect topology this library can
+ * build for a given switch radix - capacity, cost, diameter, bisection
+ * and (optionally) simulated performance - the Sections 4-6 comparison
+ * for *your* parameters.
+ *
+ * Usage: topology_explorer [--radix R] [--levels L] [--simulate]
+ *                          [--load X] [--seed S]
+ */
+#include <iostream>
+
+#include "rfc/rfc.hpp"
+
+using namespace rfc;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const int radix = static_cast<int>(opts.getInt("radix", 12));
+    const int levels = static_cast<int>(opts.getInt("levels", 3));
+    Rng rng(opts.getInt("seed", 2));
+
+    std::cout << "== topology explorer: R = " << radix << ", l = "
+              << levels << " ==\n\n";
+
+    // Build everything buildable at these parameters.
+    std::vector<FoldedClos> nets;
+    nets.push_back(buildCft(radix, levels));
+    nets.push_back(buildKaryTree(radix / 2, levels));
+    int q = radix / 2 - 1;
+    if (isPrimePower(q) && levels <= 3)
+        nets.push_back(buildOft(q, levels));
+    int n1 = rfcMaxLeaves(radix, levels);
+    auto built = buildRfc(radix, levels, n1, rng, 100);
+    if (built.routable)
+        nets.push_back(built.topology);
+    else
+        std::cout << "(RFC at threshold not routable after 100 tries; "
+                     "skipping)\n";
+
+    TablePrinter t({"topology", "terminals", "switches", "wires",
+                    "diameter", "norm-bisection", "T/switch"});
+    for (const auto &net : nets) {
+        UpDownOracle oracle(net);
+        int maxd = 0;
+        for (int a = 0; a < net.numLeaves();
+             a += std::max(1, net.numLeaves() / 64))
+            for (int b = 0; b < net.numLeaves(); ++b)
+                maxd = std::max(maxd, oracle.leafDistance(a, b));
+        std::string bisect =
+            net.name().rfind("RFC", 0) == 0
+                ? TablePrinter::fmt(
+                      normalizedBisectionRfc(radix, levels), 2)
+                : (net.name().rfind("CFT", 0) == 0 ? "1.00" : "-");
+        t.addRow({net.name(), TablePrinter::fmtInt(net.numTerminals()),
+                  TablePrinter::fmtInt(net.numSwitches()),
+                  TablePrinter::fmtInt(net.numWires()),
+                  std::to_string(maxd), bisect,
+                  TablePrinter::fmt(
+                      static_cast<double>(net.numTerminals()) /
+                          net.numSwitches(), 2)});
+    }
+    t.print(std::cout);
+
+    // Jellyfish-style direct network as a reference row.
+    int d = 2 * (levels - 1);
+    std::cout << "\nreference direct network (RRN/Jellyfish) at "
+                 "diameter " << d << ": "
+              << TablePrinter::fmtInt(rrnMaxTerminals(radix, d))
+              << " terminals on "
+              << TablePrinter::fmtInt(rrnMaxSwitches(radix, d))
+              << " switches (needs k-shortest-path routing and "
+                 "deadlock avoidance)\n";
+
+    if (opts.getBool("simulate", false)) {
+        const double load = opts.getDouble("load", 0.5);
+        std::cout << "\nsimulating uniform traffic at offered " << load
+                  << "...\n";
+        TablePrinter s({"topology", "accepted", "latency", "hops"});
+        for (const auto &net : nets) {
+            UpDownOracle oracle(net);
+            UniformTraffic traffic;
+            SimConfig cfg;
+            cfg.load = load;
+            cfg.warmup = 600;
+            cfg.measure = 2000;
+            cfg.seed = opts.getInt("seed", 2);
+            Simulator sim(net, oracle, traffic, cfg);
+            auto r = sim.run();
+            s.addRow({net.name(), TablePrinter::fmt(r.accepted, 3),
+                      TablePrinter::fmt(r.avg_latency, 1),
+                      TablePrinter::fmt(r.avg_hops, 2)});
+        }
+        s.print(std::cout);
+    }
+    return 0;
+}

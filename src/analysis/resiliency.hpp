@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Resiliency experiments (Section 7: Table 3 and Figure 11).
+ *
+ * Two fault metrics over random link removal:
+ *  - disconnection: fraction of inter-switch links whose removal first
+ *    disconnects the switch graph (computed exactly per trial with a
+ *    reverse union-find sweep), and
+ *  - up/down survival: largest fraction of removed links for which
+ *    every leaf pair still has a common ancestor (binary search over a
+ *    random removal order; routability is monotone in the removals).
+ */
+#ifndef RFC_ANALYSIS_RESILIENCY_HPP
+#define RFC_ANALYSIS_RESILIENCY_HPP
+
+#include "clos/folded_clos.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rfc {
+
+/**
+ * Fraction of links removed (uniformly at random, one by one) when the
+ * graph first disconnects, for one random order.
+ */
+double disconnectionFraction(const Graph &g, Rng &rng);
+
+/** Mean disconnection fraction over @p trials random orders. */
+RunningStat disconnectionStudy(const Graph &g, int trials, Rng &rng);
+
+/**
+ * Largest fraction of links removable (in one random order) while
+ * up/down routing survives.
+ */
+double updownToleranceFraction(const FoldedClos &fc, Rng &rng);
+
+/** Mean up/down tolerance over @p trials random orders. */
+RunningStat updownToleranceStudy(const FoldedClos &fc, int trials,
+                                 Rng &rng);
+
+} // namespace rfc
+
+#endif // RFC_ANALYSIS_RESILIENCY_HPP

@@ -1,0 +1,114 @@
+#include "analysis/scalability.hpp"
+
+#include <cmath>
+
+#include "clos/oft.hpp"
+#include "clos/rfc.hpp"
+
+namespace rfc {
+
+long long
+cftTerminals(int radix, int levels)
+{
+    long long t = 2;
+    for (int i = 0; i < levels; ++i)
+        t *= radix / 2;
+    return t;
+}
+
+int
+cftLevelsFor(long long terminals, int radix)
+{
+    int l = 1;
+    while (cftTerminals(radix, l) < terminals)
+        ++l;
+    return l;
+}
+
+long long
+rfcMaxTerminals(int radix, int levels)
+{
+    return static_cast<long long>(rfcMaxLeaves(radix, levels)) *
+           (radix / 2);
+}
+
+int
+rfcLevelsFor(long long terminals, int radix)
+{
+    int l = 2;
+    while (rfcMaxTerminals(radix, l) < terminals)
+        ++l;
+    return l;
+}
+
+long long
+rrnMaxSwitches(int radix, int diameter)
+{
+    double delta = std::floor(static_cast<double>(radix) * diameter /
+                              (diameter + 1));
+    double target = std::pow(delta, diameter);
+    // Solve 2 N ln N = target.
+    double lo = 2.0, hi = 2.0;
+    while (2.0 * hi * std::log(hi) < target)
+        hi *= 2.0;
+    for (int it = 0; it < 200; ++it) {
+        double mid = (lo + hi) / 2.0;
+        if (2.0 * mid * std::log(mid) < target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return static_cast<long long>(lo);
+}
+
+long long
+rrnMaxTerminals(int radix, int diameter)
+{
+    long long n = rrnMaxSwitches(radix, diameter);
+    int delta = static_cast<int>(
+        std::floor(static_cast<double>(radix) * diameter / (diameter + 1)));
+    int hosts = radix - delta;
+    return n * hosts;
+}
+
+int
+rrnDiameterFor(long long terminals, int radix)
+{
+    int d = 1;
+    while (rrnMaxTerminals(radix, d) < terminals)
+        ++d;
+    return d;
+}
+
+int
+rfcDiameterFor(long long terminals, int radix)
+{
+    int l = 2;
+    while (rfcMaxTerminals(radix, l) < terminals)
+        ++l;
+    return 2 * (l - 1);
+}
+
+int
+cftDiameterFor(long long terminals, int radix)
+{
+    return 2 * (cftLevelsFor(terminals, radix) - 1);
+}
+
+int
+oftOrderFromRadix(int radix)
+{
+    return radix / 2 - 1;
+}
+
+int
+oftDiameterFor(long long terminals, int radix)
+{
+    int q = oftOrderFromRadix(radix);
+    int l = 1;
+    while (oftTerminals(q, l) < terminals)
+        ++l;
+    return 2 * (l - 1);
+}
+
+} // namespace rfc

@@ -1,0 +1,147 @@
+#include "clos/expansion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfc {
+
+namespace {
+
+/**
+ * Rebuild @p fc with @p extra more switches per level (2 below top, 1 at
+ * the top), copying all existing links, then rewire one increment.
+ */
+FoldedClos
+grow(const FoldedClos &fc)
+{
+    std::vector<int> counts(fc.levels());
+    for (int lv = 1; lv <= fc.levels(); ++lv)
+        counts[lv - 1] = fc.switchesAtLevel(lv) + (lv == fc.levels() ? 1 : 2);
+
+    FoldedClos out(counts, fc.radix(), fc.terminalsPerLeaf(), fc.name());
+    // Old switch id -> new switch id (levels shift because counts grew).
+    auto remap = [&](int s) {
+        int lv = 1;
+        for (int l = fc.levels(); l >= 1; --l) {
+            if (s >= fc.levelOffset(l)) {
+                lv = l;
+                break;
+            }
+        }
+        return out.levelOffset(lv) + (s - fc.levelOffset(lv));
+    };
+    for (int s = 0; s < fc.numSwitches(); ++s)
+        for (int p : fc.up(s))
+            out.addLink(remap(s), remap(p));
+    return out;
+}
+
+} // namespace
+
+ExpansionResult
+strongExpand(const FoldedClos &fc, int steps, Rng &rng)
+{
+    if (fc.levels() < 2)
+        throw std::invalid_argument("strongExpand: need >= 2 levels");
+
+    ExpansionResult res;
+    res.topology = fc;
+
+    const int m = fc.radix() / 2;
+
+    for (int step = 0; step < steps; ++step) {
+        FoldedClos cur = grow(res.topology);
+        const int l = cur.levels();
+
+        for (int lv = 1; lv < l; ++lv) {
+            // New switches sit at the end of each level's range.
+            const int new_lo_base = cur.levelOffset(lv) +
+                                    cur.switchesAtLevel(lv) - 2;
+            const bool top_pair = (lv + 1 == l);
+            const int new_up_base = cur.levelOffset(lv + 1) +
+                                    cur.switchesAtLevel(lv + 1) -
+                                    (top_pair ? 1 : 2);
+
+            // Free 2m endpoints on each side by removing 2m random
+            // existing links between levels lv and lv+1, none of which
+            // touches a new switch.
+            std::vector<ClosLink> candidates;
+            int lo = cur.levelOffset(lv);
+            for (int s = lo; s < new_lo_base; ++s)
+                for (int p : cur.up(s))
+                    if (p < new_up_base)
+                        candidates.push_back({s, p});
+            if (static_cast<int>(candidates.size()) < 2 * m)
+                throw std::runtime_error("strongExpand: network too small "
+                                         "to rewire");
+            rng.shuffle(candidates);
+
+            // Port slots to fill: each removed link (a, b) donates its
+            // lower endpoint a to a new upper switch and its upper
+            // endpoint b to a new lower switch.  Per-slot rejection
+            // sampling keeps the wiring simple (no duplicate links).
+            std::vector<int> uppers, lowers;
+            if (top_pair) {
+                uppers.assign(2 * m, new_up_base);
+            } else {
+                for (int i = 0; i < 2 * m; ++i)
+                    uppers.push_back(new_up_base + (i < m ? 0 : 1));
+            }
+            for (int i = 0; i < 2 * m; ++i)
+                lowers.push_back(new_lo_base + (i < m ? 0 : 1));
+            rng.shuffle(uppers);
+            rng.shuffle(lowers);
+
+            std::vector<ClosLink> chosen(2 * m);
+            bool done = false;
+            for (int attempt = 0; attempt < 64 && !done; ++attempt) {
+                std::vector<std::pair<int, int>> new_up_links;
+                std::vector<std::pair<int, int>> new_down_links;
+                std::vector<char> used(candidates.size(), 0);
+                bool ok = true;
+                for (int i = 0; i < 2 * m && ok; ++i) {
+                    bool placed = false;
+                    for (int tries = 0; tries < 256; ++tries) {
+                        auto e = rng.uniform(candidates.size());
+                        if (used[e])
+                            continue;
+                        const ClosLink &c = candidates[e];
+                        std::pair<int, int> au{c.lower, uppers[i]};
+                        std::pair<int, int> bl{lowers[i], c.upper};
+                        if (std::find(new_up_links.begin(),
+                                      new_up_links.end(), au) !=
+                            new_up_links.end())
+                            continue;
+                        if (std::find(new_down_links.begin(),
+                                      new_down_links.end(), bl) !=
+                            new_down_links.end())
+                            continue;
+                        used[e] = 1;
+                        new_up_links.push_back(au);
+                        new_down_links.push_back(bl);
+                        chosen[i] = c;
+                        placed = true;
+                        break;
+                    }
+                    ok = placed;
+                }
+                done = ok;
+            }
+            if (!done)
+                throw std::runtime_error("strongExpand: rewire failed");
+
+            for (int i = 0; i < 2 * m; ++i) {
+                cur.removeLink(chosen[i].lower, chosen[i].upper);
+                cur.addLink(chosen[i].lower, uppers[i]);
+                cur.addLink(lowers[i], chosen[i].upper);
+                res.rewired += 1;
+            }
+        }
+        res.topology = std::move(cur);
+        res.added_terminals +=
+            2LL * res.topology.terminalsPerLeaf();
+    }
+    return res;
+}
+
+} // namespace rfc

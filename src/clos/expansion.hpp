@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Incremental (strong) expansion of random folded Clos networks (Sec 5).
+ *
+ * A minimal RFC upgrade adds two switches to every level except the top,
+ * one switch to the top, and R new compute nodes, while rewiring only
+ * O(R * l) existing links - no new levels, so the diameter is preserved
+ * ("strong expandability").  The rewiring uses the classic random-graph
+ * trick: for each new switch pair, remove random existing inter-level
+ * links and reconnect their endpoints to the new switches, which keeps
+ * every degree intact and the wiring close to uniformly random.
+ */
+#ifndef RFC_CLOS_EXPANSION_HPP
+#define RFC_CLOS_EXPANSION_HPP
+
+#include "clos/folded_clos.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+
+/** Outcome of one or more expansion steps. */
+struct ExpansionResult
+{
+    FoldedClos topology;      //!< expanded network
+    long long rewired = 0;    //!< links detached and reattached
+    long long added_terminals = 0;
+};
+
+/**
+ * Apply @p steps minimal strong-expansion increments to @p fc.
+ *
+ * Each step adds 2 switches per level below the top, 1 top switch and
+ * R terminals.  @p fc must be radix-regular.  The result keeps radix
+ * regularity; up/down routability should be rechecked by the caller
+ * (guaranteed w.h.p. only below the Theorem 4.2 threshold).
+ */
+ExpansionResult strongExpand(const FoldedClos &fc, int steps, Rng &rng);
+
+} // namespace rfc
+
+#endif // RFC_CLOS_EXPANSION_HPP

@@ -1,0 +1,156 @@
+#include "clos/fat_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfc {
+
+namespace {
+
+/**
+ * Recursive fat-tree wiring.
+ *
+ * Builds the subtree of height @p h, allocating switch ids from the
+ * per-level counters @p next_id, and returns the global ids of the
+ * subtree's top switches in canonical order.
+ */
+std::vector<int>
+buildSubtree(FoldedClos &fc, int h, int m, int top_arity, int levels,
+             std::vector<int> &next_id)
+{
+    if (h == 1) {
+        int id = fc.levelOffset(1) + next_id[0]++;
+        return {id};
+    }
+
+    const int arity = (h == levels) ? top_arity : m;
+    std::vector<std::vector<int>> children;
+    children.reserve(arity);
+    for (int j = 0; j < arity; ++j)
+        children.push_back(buildSubtree(fc, h - 1, m, top_arity, levels,
+                                        next_id));
+
+    const int child_tops = static_cast<int>(children[0].size());
+    std::vector<int> tops;
+    tops.reserve(static_cast<std::size_t>(child_tops) * m);
+    for (int t = 0; t < child_tops; ++t)
+        for (int u = 0; u < m; ++u)
+            tops.push_back(fc.levelOffset(h) + next_id[h - 1]++);
+
+    // Root (t, u) takes one link from top switch t of every subtree,
+    // through that switch's u-th up port.
+    for (int j = 0; j < arity; ++j)
+        for (int t = 0; t < child_tops; ++t)
+            for (int u = 0; u < m; ++u)
+                fc.addLink(children[j][t], tops[t * m + u]);
+    return tops;
+}
+
+FoldedClos
+buildFatTree(int m, int levels, int top_arity, const std::string &name,
+             int radix)
+{
+    if (m < 1 || levels < 1)
+        throw std::invalid_argument("buildFatTree: bad parameters");
+
+    // Level sizes: N_i = tops(i) * subtrees(i), tops(i) = m^(i-1),
+    // subtrees(i) = top_arity * m^(l-1-i) for i < l, subtrees(l) = 1.
+    std::vector<int> level_count(levels);
+    long long tops = 1;
+    for (int i = 1; i <= levels; ++i) {
+        long long subtrees = 1;
+        for (int j = i + 1; j <= levels; ++j)
+            subtrees *= (j == levels) ? top_arity : m;
+        level_count[i - 1] = static_cast<int>(tops * subtrees);
+        tops *= m;
+    }
+    if (levels == 1)
+        level_count[0] = 1;
+
+    FoldedClos fc(level_count, radix, m, name);
+    std::vector<int> next_id(levels, 0);
+    buildSubtree(fc, levels, m, top_arity, levels, next_id);
+    return fc;
+}
+
+} // namespace
+
+FoldedClos
+buildCft(int radix, int levels)
+{
+    if (radix < 2 || radix % 2 != 0)
+        throw std::invalid_argument("buildCft: radix must be even >= 2");
+    int m = radix / 2;
+    return buildFatTree(m, levels, radix,
+                        "CFT(R=" + std::to_string(radix) +
+                            ",l=" + std::to_string(levels) + ")",
+                        radix);
+}
+
+FoldedClos
+buildKaryTree(int k, int levels)
+{
+    return buildFatTree(k, levels, k,
+                        std::to_string(k) + "-ary " +
+                            std::to_string(levels) + "-tree",
+                        2 * k);
+}
+
+FoldedClos
+buildPrunedCft(int radix, int levels, int keep_roots)
+{
+    if (levels < 2)
+        throw std::invalid_argument("buildPrunedCft: need >= 2 levels");
+    FoldedClos full = buildCft(radix, levels);
+    const int total_roots = full.switchesAtLevel(levels);
+    if (keep_roots < 1 || keep_roots > total_roots)
+        throw std::invalid_argument("buildPrunedCft: keep_roots out of "
+                                    "range");
+    if (keep_roots == total_roots)
+        return full;
+
+    // Roots are labeled (t, u): root t*m+u is parent u of every top
+    // switch with index t.  Prune by *planes* (ascending u first) so
+    // every level-(l-1) switch keeps the same number of up links
+    // (plus/minus one) and load stays balanced.
+    const int m = radix / 2;
+    const int tops = total_roots / m;
+    const int root_base = full.levelOffset(levels);
+    std::vector<int> new_id(total_roots, -1);
+    {
+        std::vector<int> kept;
+        for (int u = 0; u < m && static_cast<int>(kept.size()) <
+                                     keep_roots; ++u)
+            for (int t = 0; t < tops && static_cast<int>(kept.size()) <
+                                            keep_roots; ++t)
+                kept.push_back(t * m + u);
+        std::sort(kept.begin(), kept.end());
+        for (std::size_t i = 0; i < kept.size(); ++i)
+            new_id[kept[i]] = static_cast<int>(i);
+    }
+
+    std::vector<int> counts(levels);
+    for (int lv = 1; lv <= levels; ++lv)
+        counts[lv - 1] = full.switchesAtLevel(lv);
+    counts[levels - 1] = keep_roots;
+
+    FoldedClos out(counts, radix, radix / 2,
+                   "CFT(R=" + std::to_string(radix) +
+                       ",l=" + std::to_string(levels) + ",roots=" +
+                       std::to_string(keep_roots) + ")");
+    for (int s = 0; s < root_base; ++s) {
+        for (int p : full.up(s)) {
+            if (p >= root_base) {
+                int id = new_id[p - root_base];
+                if (id < 0)
+                    continue;  // pruned root
+                out.addLink(s, root_base + id);
+            } else {
+                out.addLink(s, p);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace rfc

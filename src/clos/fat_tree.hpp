@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic fat-tree builders (Definitions 3.2 and the R-commodity
+ * fat-tree of Al-Fares et al.).
+ *
+ * Both the k-ary l-tree and the R-commodity fat-tree (CFT) are built by
+ * the same recursion: an l-level fat-tree is k_l disjoint (l-1)-level
+ * fat-trees plus a layer of root switches, where root (t, u) connects to
+ * top switch t of every subtree through that switch's u-th up port.  For
+ * inner levels k_i = R/2 (matching the R/2 down ports); the CFT uses
+ * k_l = R so the roots' full radix faces down, doubling the terminal
+ * count of the k-ary l-tree.
+ */
+#ifndef RFC_CLOS_FAT_TREE_HPP
+#define RFC_CLOS_FAT_TREE_HPP
+
+#include "clos/folded_clos.hpp"
+
+namespace rfc {
+
+/**
+ * Build the R-commodity fat-tree (a.k.a. R-port l-tree).
+ * @param radix Switch radix R (even).
+ * @param levels Number of switch levels l >= 1.
+ * @return Topology with 2*(R/2)^l terminals.
+ */
+FoldedClos buildCft(int radix, int levels);
+
+/**
+ * Build the k-ary l-tree (Petrini & Vanneschi).
+ * @param k Arity (= R/2 of the radix-2k switches).
+ * @param levels Number of switch levels l >= 1.
+ * @return Topology with k^l terminals.
+ */
+FoldedClos buildKaryTree(int k, int levels);
+
+/**
+ * Build a *pruned* CFT: a full R-commodity fat-tree with only a
+ * fraction of its root switches installed (Section 5's "convenient
+ * pruning" of the partially-populated 4-level CFT in the 100K
+ * scenario).  Keeping `keep_roots` of the top switches leaves the
+ * level-(l-1) up ports partially unconnected ("free ports for future
+ * expansion") and reduces the bisection proportionally; up/down
+ * routing survives because every remaining root is still a common
+ * ancestor of all leaves.
+ *
+ * @param radix Switch radix R (even).
+ * @param levels Number of levels l >= 2.
+ * @param keep_roots Root switches to keep, 1 <= keep_roots <= (R/2)^(l-1).
+ */
+FoldedClos buildPrunedCft(int radix, int levels, int keep_roots);
+
+} // namespace rfc
+
+#endif // RFC_CLOS_FAT_TREE_HPP

@@ -1,0 +1,40 @@
+#include "clos/faults.hpp"
+
+#include <stdexcept>
+
+namespace rfc {
+
+std::vector<ClosLink>
+randomLinkOrder(const FoldedClos &fc, Rng &rng)
+{
+    auto order = fc.links();
+    rng.shuffle(order);
+    return order;
+}
+
+FoldedClos
+withLinksRemoved(const FoldedClos &fc, const std::vector<ClosLink> &order,
+                 std::size_t count)
+{
+    if (count > order.size())
+        throw std::out_of_range("withLinksRemoved: count > links");
+    FoldedClos out = fc;
+    for (std::size_t i = 0; i < count; ++i)
+        if (!out.removeLink(order[i].lower, order[i].upper))
+            throw std::logic_error("withLinksRemoved: link not present");
+    return out;
+}
+
+std::vector<ClosLink>
+removeRandomLinks(FoldedClos &fc, std::size_t count, Rng &rng)
+{
+    auto order = randomLinkOrder(fc, rng);
+    if (count > order.size())
+        throw std::out_of_range("removeRandomLinks: count > links");
+    order.resize(count);
+    for (const auto &link : order)
+        fc.removeLink(link.lower, link.upper);
+    return order;
+}
+
+} // namespace rfc

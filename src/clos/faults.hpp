@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Link-fault injection for the resiliency studies (Section 7).
+ *
+ * Experiments remove random inter-switch links and ask two questions:
+ * when does the switch graph physically disconnect (Table 3), and when
+ * is up/down routing lost, i.e. some leaf pair loses its last common
+ * ancestor (Figure 11)?
+ */
+#ifndef RFC_CLOS_FAULTS_HPP
+#define RFC_CLOS_FAULTS_HPP
+
+#include <vector>
+
+#include "clos/folded_clos.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+
+/** A uniformly random permutation of all inter-switch links of @p fc. */
+std::vector<ClosLink> randomLinkOrder(const FoldedClos &fc, Rng &rng);
+
+/**
+ * Copy @p fc with the first @p count links of @p order removed.
+ * @pre count <= order.size().
+ */
+FoldedClos withLinksRemoved(const FoldedClos &fc,
+                            const std::vector<ClosLink> &order,
+                            std::size_t count);
+
+/**
+ * Remove @p count random links in place.
+ * @return the removed links.
+ */
+std::vector<ClosLink> removeRandomLinks(FoldedClos &fc, std::size_t count,
+                                        Rng &rng);
+
+} // namespace rfc
+
+#endif // RFC_CLOS_FAULTS_HPP

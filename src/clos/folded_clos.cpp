@@ -1,0 +1,135 @@
+#include "clos/folded_clos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfc {
+
+FoldedClos::FoldedClos(std::vector<int> level_count, int radix,
+                       int terminals_per_leaf, std::string name)
+    : level_count_(std::move(level_count)), radix_(radix),
+      terminals_per_leaf_(terminals_per_leaf), name_(std::move(name))
+{
+    if (level_count_.empty())
+        throw std::invalid_argument("FoldedClos: need at least one level");
+    level_offset_.resize(level_count_.size());
+    int off = 0;
+    for (std::size_t i = 0; i < level_count_.size(); ++i) {
+        if (level_count_[i] <= 0)
+            throw std::invalid_argument("FoldedClos: empty level");
+        level_offset_[i] = off;
+        off += level_count_[i];
+    }
+    num_switches_ = off;
+    up_.resize(num_switches_);
+    down_.resize(num_switches_);
+}
+
+int
+FoldedClos::levelOf(int s) const
+{
+    // Levels are few; linear scan is fine and branch-predictable.
+    for (int lv = levels(); lv >= 1; --lv)
+        if (s >= level_offset_[lv - 1])
+            return lv;
+    throw std::out_of_range("FoldedClos::levelOf");
+}
+
+void
+FoldedClos::addLink(int lower, int upper)
+{
+    up_[lower].push_back(upper);
+    down_[upper].push_back(lower);
+}
+
+bool
+FoldedClos::removeLink(int lower, int upper)
+{
+    auto &u = up_[lower];
+    auto it = std::find(u.begin(), u.end(), upper);
+    if (it == u.end())
+        return false;
+    *it = u.back();
+    u.pop_back();
+
+    auto &d = down_[upper];
+    auto jt = std::find(d.begin(), d.end(), lower);
+    *jt = d.back();
+    d.pop_back();
+    return true;
+}
+
+std::vector<ClosLink>
+FoldedClos::links() const
+{
+    std::vector<ClosLink> out;
+    out.reserve(static_cast<std::size_t>(numWires()));
+    for (int s = 0; s < num_switches_; ++s)
+        for (int p : up_[s])
+            out.push_back({s, p});
+    return out;
+}
+
+long long
+FoldedClos::numWires() const
+{
+    long long w = 0;
+    for (const auto &u : up_)
+        w += static_cast<long long>(u.size());
+    return w;
+}
+
+bool
+FoldedClos::isRadixRegular() const
+{
+    const int half = radix_ / 2;
+    for (int s = 0; s < num_switches_; ++s) {
+        int lv = levelOf(s);
+        if (lv == levels()) {
+            if (static_cast<int>(down_[s].size()) != radix_)
+                return false;
+            if (!up_[s].empty())
+                return false;
+        } else {
+            if (static_cast<int>(up_[s].size()) != half)
+                return false;
+            int down_links = lv == 1 ? terminals_per_leaf_
+                                     : static_cast<int>(down_[s].size());
+            if (down_links != half)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+FoldedClos::validate() const
+{
+    for (int s = 0; s < num_switches_; ++s) {
+        int lv = levelOf(s);
+        for (int p : up_[s]) {
+            if (p < 0 || p >= num_switches_ || levelOf(p) != lv + 1)
+                return false;
+            if (std::count(down_[p].begin(), down_[p].end(), s) !=
+                std::count(up_[s].begin(), up_[s].end(), p))
+                return false;
+        }
+        for (int c : down_[s]) {
+            if (c < 0 || c >= num_switches_ || levelOf(c) != lv - 1)
+                return false;
+        }
+    }
+    return true;
+}
+
+Graph
+FoldedClos::toGraph() const
+{
+    Graph g(num_switches_);
+    for (int s = 0; s < num_switches_; ++s)
+        for (int p : up_[s])
+            g.addEdge(s, p);
+    return g;
+}
+
+} // namespace rfc

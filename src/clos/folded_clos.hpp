@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Level-structured folded Clos topology representation (Definition 3.1).
+ *
+ * Every indirect topology in this library - commodity fat-trees, k-ary
+ * l-trees, orthogonal fat-trees and random folded Clos networks - is
+ * emitted as this one type, so routing, simulation, cost analysis and
+ * fault injection are topology-agnostic.
+ *
+ * Switches are numbered globally, level-major: level 1 (leaves) first.
+ * A switch's adjacency is split into an up list (level + 1 neighbors)
+ * and a down list (level - 1 neighbors).  Terminals attach only to
+ * leaves, terminalsPerLeaf() per leaf, numbered leaf-major.
+ */
+#ifndef RFC_CLOS_FOLDED_CLOS_HPP
+#define RFC_CLOS_FOLDED_CLOS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rfc {
+
+/** An inter-switch link, identified by its two endpoint switches. */
+struct ClosLink
+{
+    std::int32_t lower;  //!< switch at level i
+    std::int32_t upper;  //!< switch at level i+1
+
+    bool
+    operator==(const ClosLink &o) const
+    {
+        return lower == o.lower && upper == o.upper;
+    }
+};
+
+/** A folded Clos network (Definition 3.1 of the paper). */
+class FoldedClos
+{
+  public:
+    FoldedClos() = default;
+
+    /**
+     * Create an unwired network.
+     * @param level_count Switches per level, leaves first (size l >= 1).
+     * @param radix Nominal switch radix R.
+     * @param terminals_per_leaf Compute nodes attached to each leaf.
+     * @param name Human-readable topology name (for reports).
+     */
+    FoldedClos(std::vector<int> level_count, int radix,
+               int terminals_per_leaf, std::string name);
+
+    /** Number of levels l. */
+    int levels() const { return static_cast<int>(level_count_.size()); }
+
+    /** Nominal switch radix R. */
+    int radix() const { return radix_; }
+
+    const std::string &name() const { return name_; }
+
+    int numSwitches() const { return num_switches_; }
+
+    /** Switches at 1-based level @p lv. */
+    int switchesAtLevel(int lv) const { return level_count_[lv - 1]; }
+
+    /** Global id of the first switch of 1-based level @p lv. */
+    int levelOffset(int lv) const { return level_offset_[lv - 1]; }
+
+    /** 1-based level of switch @p s. */
+    int levelOf(int s) const;
+
+    int terminalsPerLeaf() const { return terminals_per_leaf_; }
+
+    int numLeaves() const { return level_count_[0]; }
+
+    long long
+    numTerminals() const
+    {
+        return static_cast<long long>(numLeaves()) * terminals_per_leaf_;
+    }
+
+    /** Leaf switch hosting terminal @p t. */
+    int
+    leafOfTerminal(long long t) const
+    {
+        return static_cast<int>(t / terminals_per_leaf_);
+    }
+
+    /** Connect switch @p lower (level i) to @p upper (level i+1). */
+    void addLink(int lower, int upper);
+
+    /** Up neighbors (parents) of switch @p s. */
+    const std::vector<std::int32_t> &up(int s) const { return up_[s]; }
+
+    /** Down neighbors (children) of switch @p s (empty for leaves). */
+    const std::vector<std::int32_t> &down(int s) const { return down_[s]; }
+
+    /**
+     * Remove one instance of the link lower-upper.
+     * @return true if a link was found and removed.
+     */
+    bool removeLink(int lower, int upper);
+
+    /** All inter-switch links. */
+    std::vector<ClosLink> links() const;
+
+    /** Number of inter-switch links (wires). */
+    long long numWires() const;
+
+    /** Network ports in use = 2 * wires (the Figure 7 cost metric). */
+    long long numNetworkPorts() const { return 2 * numWires(); }
+
+    /**
+     * Radix-regularity check (Definition 3.1): every switch below the
+     * top has R/2 up and R/2 down links (down = terminals for leaves),
+     * and top switches have R down links.
+     */
+    bool isRadixRegular() const;
+
+    /**
+     * Structural validation: every up link points one level higher and
+     * is mirrored in the partner's down list.
+     */
+    bool validate() const;
+
+    /** Lower to the plain switch graph (for diameter/bisection/faults). */
+    Graph toGraph() const;
+
+  private:
+    std::vector<int> level_count_;
+    std::vector<int> level_offset_;
+    int num_switches_ = 0;
+    int radix_ = 0;
+    int terminals_per_leaf_ = 0;
+    std::string name_;
+    std::vector<std::vector<std::int32_t>> up_, down_;
+};
+
+} // namespace rfc
+
+#endif // RFC_CLOS_FOLDED_CLOS_HPP

@@ -1,0 +1,206 @@
+#include "clos/galois.hpp"
+
+#include <stdexcept>
+
+namespace rfc {
+
+bool
+isPrime(int n)
+{
+    if (n < 2)
+        return false;
+    for (int d = 2; static_cast<long long>(d) * d <= n; ++d)
+        if (n % d == 0)
+            return false;
+    return true;
+}
+
+bool
+isPrimePower(int n)
+{
+    if (n < 2)
+        return false;
+    for (int p = 2; p <= n; ++p) {
+        if (!isPrime(p))
+            continue;
+        if (n % p)
+            continue;
+        int m = n;
+        while (m % p == 0)
+            m /= p;
+        return m == 1;
+    }
+    return false;
+}
+
+namespace {
+
+/** Polynomial over GF(p), little-endian coefficients, no trailing zeros. */
+using Poly = std::vector<int>;
+
+void
+trim(Poly &a)
+{
+    while (!a.empty() && a.back() == 0)
+        a.pop_back();
+}
+
+Poly
+polyMul(const Poly &a, const Poly &b, int p)
+{
+    if (a.empty() || b.empty())
+        return {};
+    Poly c(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < b.size(); ++j)
+            c[i + j] = (c[i + j] + a[i] * b[j]) % p;
+    trim(c);
+    return c;
+}
+
+/** Remainder of a mod m (m monic). */
+Poly
+polyMod(Poly a, const Poly &m, int p)
+{
+    trim(a);
+    while (a.size() >= m.size()) {
+        int coef = a.back();
+        std::size_t shift = a.size() - m.size();
+        for (std::size_t i = 0; i < m.size(); ++i) {
+            int t = (a[shift + i] - coef * m[i]) % p;
+            a[shift + i] = (t + p * p) % p;
+        }
+        trim(a);
+    }
+    return a;
+}
+
+/** Encode polynomial as base-p integer. */
+int
+encode(const Poly &a, int p)
+{
+    int v = 0;
+    for (std::size_t i = a.size(); i-- > 0;)
+        v = v * p + a[i];
+    return v;
+}
+
+/** Decode base-p integer into a polynomial of degree < k. */
+Poly
+decode(int v, int p, int k)
+{
+    Poly a;
+    for (int i = 0; i < k; ++i) {
+        a.push_back(v % p);
+        v /= p;
+    }
+    trim(a);
+    return a;
+}
+
+/**
+ * Irreducibility by trial division: no monic divisor of degree
+ * 1..deg/2.  Fine for the small degrees used by projective planes.
+ */
+bool
+isIrreducible(const Poly &m, int p)
+{
+    int deg = static_cast<int>(m.size()) - 1;
+    for (int d = 1; d <= deg / 2; ++d) {
+        // Enumerate monic polynomials of degree d.
+        int count = 1;
+        for (int i = 0; i < d; ++i)
+            count *= p;
+        for (int v = 0; v < count; ++v) {
+            Poly div = decode(v, p, d);
+            div.resize(d + 1, 0);
+            div[d] = 1;
+            if (polyMod(m, div, p).empty())
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Find a monic irreducible polynomial of degree k over GF(p). */
+Poly
+findIrreducible(int p, int k)
+{
+    int count = 1;
+    for (int i = 0; i < k; ++i)
+        count *= p;
+    for (int v = 0; v < count; ++v) {
+        Poly m = decode(v, p, k);
+        m.resize(k + 1, 0);
+        m[k] = 1;
+        if (isIrreducible(m, p))
+            return m;
+    }
+    throw std::logic_error("no irreducible polynomial found");
+}
+
+} // namespace
+
+GaloisField::GaloisField(int q)
+    : q_(q)
+{
+    if (!isPrimePower(q))
+        throw std::invalid_argument("GaloisField: order must be a prime "
+                                    "power");
+    p_ = 2;
+    while (q % p_ != 0)
+        ++p_;
+    k_ = 0;
+    for (int m = q; m > 1; m /= p_)
+        ++k_;
+
+    Poly irreducible = k_ > 1 ? findIrreducible(p_, k_) : Poly{};
+
+    add_.resize(static_cast<std::size_t>(q) * q);
+    mul_.resize(static_cast<std::size_t>(q) * q);
+    neg_.resize(q);
+    inv_.assign(q, 0);
+
+    std::vector<Poly> elems(q);
+    for (int v = 0; v < q; ++v)
+        elems[v] = decode(v, p_, k_);
+
+    for (int a = 0; a < q; ++a) {
+        // Negation: digit-wise mod p.
+        Poly na = elems[a];
+        for (auto &c : na)
+            c = (p_ - c) % p_;
+        neg_[a] = encode(na, p_);
+
+        for (int b = 0; b < q; ++b) {
+            Poly s(std::max(elems[a].size(), elems[b].size()), 0);
+            for (std::size_t i = 0; i < s.size(); ++i) {
+                int x = i < elems[a].size() ? elems[a][i] : 0;
+                int y = i < elems[b].size() ? elems[b][i] : 0;
+                s[i] = (x + y) % p_;
+            }
+            trim(s);
+            add_[idx(a, b)] = encode(s, p_);
+
+            Poly m = polyMul(elems[a], elems[b], p_);
+            if (k_ > 1)
+                m = polyMod(m, irreducible, p_);
+            mul_[idx(a, b)] = encode(m, p_);
+        }
+    }
+
+    for (int a = 1; a < q; ++a)
+        for (int b = 1; b < q; ++b)
+            if (mul_[idx(a, b)] == 1)
+                inv_[a] = b;
+}
+
+int
+GaloisField::inv(int a) const
+{
+    if (a == 0)
+        throw std::domain_error("GaloisField::inv(0)");
+    return inv_[a];
+}
+
+} // namespace rfc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Finite field GF(p^k) arithmetic.
+ *
+ * Orthogonal fat-trees (Valerio et al., Kathareios et al.) are wired from
+ * the projective plane PG(2, q), which exists whenever q is a prime
+ * power.  This module implements GF(q) for any prime power q by searching
+ * for a monic irreducible polynomial of degree k over GF(p) and reducing
+ * polynomial products modulo it.  Tables are precomputed, so element
+ * operations are O(1).
+ */
+#ifndef RFC_CLOS_GALOIS_HPP
+#define RFC_CLOS_GALOIS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace rfc {
+
+/** True iff n is a prime number. */
+bool isPrime(int n);
+
+/** True iff n = p^k for a prime p and k >= 1. */
+bool isPrimePower(int n);
+
+/** Finite field with q = p^k elements, encoded as integers 0..q-1. */
+class GaloisField
+{
+  public:
+    /**
+     * Construct GF(q).
+     * @param q A prime power (throws std::invalid_argument otherwise).
+     */
+    explicit GaloisField(int q);
+
+    int order() const { return q_; }
+    int characteristic() const { return p_; }
+    int degree() const { return k_; }
+
+    /** Field addition. */
+    int add(int a, int b) const { return add_[idx(a, b)]; }
+
+    /** Field additive inverse. */
+    int neg(int a) const { return neg_[a]; }
+
+    /** Field multiplication. */
+    int mul(int a, int b) const { return mul_[idx(a, b)]; }
+
+    /** Multiplicative inverse; a must be nonzero. */
+    int inv(int a) const;
+
+    /** a - b. */
+    int sub(int a, int b) const { return add(a, neg(b)); }
+
+  private:
+    std::size_t
+    idx(int a, int b) const
+    {
+        return static_cast<std::size_t>(a) * q_ + b;
+    }
+
+    int q_, p_, k_;
+    std::vector<int> add_, mul_, neg_, inv_;
+};
+
+} // namespace rfc
+
+#endif // RFC_CLOS_GALOIS_HPP

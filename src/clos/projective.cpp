@@ -1,0 +1,40 @@
+#include "clos/projective.hpp"
+
+namespace rfc {
+
+ProjectivePlane::ProjectivePlane(int q)
+    : q_(q), gf_(q)
+{
+    // Canonical representatives of the projective points:
+    //   (1, y, z), (0, 1, z), (0, 0, 1).
+    for (int y = 0; y < q; ++y)
+        for (int z = 0; z < q; ++z)
+            points_.push_back({1, y, z});
+    for (int z = 0; z < q; ++z)
+        points_.push_back({0, 1, z});
+    points_.push_back({0, 0, 1});
+
+    const int n = size();
+    lines_of_point_.resize(n);
+    points_of_line_.resize(n);
+    for (int p = 0; p < n; ++p) {
+        for (int l = 0; l < n; ++l) {
+            if (incident(p, l)) {
+                lines_of_point_[p].push_back(l);
+                points_of_line_[l].push_back(p);
+            }
+        }
+    }
+}
+
+bool
+ProjectivePlane::incident(int point, int line) const
+{
+    const auto &a = points_[point];
+    const auto &b = points_[line];
+    int dot = gf_.add(gf_.mul(a[0], b[0]),
+                      gf_.add(gf_.mul(a[1], b[1]), gf_.mul(a[2], b[2])));
+    return dot == 0;
+}
+
+} // namespace rfc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The projective plane PG(2, q) over GF(q).
+ *
+ * PG(2, q) has q^2+q+1 points and q^2+q+1 lines; every line carries q+1
+ * points, every point lies on q+1 lines, two distinct points share
+ * exactly one line and two distinct lines meet in exactly one point.
+ * These incidence properties are exactly what gives orthogonal fat-trees
+ * their unique-minimal-path, cost-optimal wiring.
+ */
+#ifndef RFC_CLOS_PROJECTIVE_HPP
+#define RFC_CLOS_PROJECTIVE_HPP
+
+#include <array>
+#include <vector>
+
+#include "clos/galois.hpp"
+
+namespace rfc {
+
+/** Incidence structure of the projective plane of order q. */
+class ProjectivePlane
+{
+  public:
+    /** Build PG(2, q); q must be a prime power. */
+    explicit ProjectivePlane(int q);
+
+    int order() const { return q_; }
+
+    /** Number of points (= number of lines) = q^2 + q + 1. */
+    int size() const { return static_cast<int>(points_.size()); }
+
+    /** Lines incident to @p point (q+1 of them). */
+    const std::vector<int> &
+    linesThroughPoint(int point) const
+    {
+        return lines_of_point_[point];
+    }
+
+    /** Points incident to @p line (q+1 of them). */
+    const std::vector<int> &
+    pointsOnLine(int line) const
+    {
+        return points_of_line_[line];
+    }
+
+    /** True iff @p point lies on @p line. */
+    bool incident(int point, int line) const;
+
+  private:
+    int q_;
+    GaloisField gf_;
+    // Normalized homogeneous coordinates; by duality the same list
+    // serves as both points and lines.
+    std::vector<std::array<int, 3>> points_;
+    std::vector<std::vector<int>> lines_of_point_;
+    std::vector<std::vector<int>> points_of_line_;
+};
+
+} // namespace rfc
+
+#endif // RFC_CLOS_PROJECTIVE_HPP

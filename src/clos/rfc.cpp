@@ -1,0 +1,115 @@
+#include "clos/rfc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "graph/random_bipartite.hpp"
+#include "routing/updown.hpp"
+
+namespace rfc {
+
+FoldedClos
+buildRfcUnchecked(int radix, int levels, int n1, Rng &rng)
+{
+    if (radix < 2 || radix % 2 != 0)
+        throw std::invalid_argument("buildRfc: radix must be even >= 2");
+    if (levels < 2)
+        throw std::invalid_argument("buildRfc: need at least 2 levels");
+    if (n1 < 2 || n1 % 2 != 0)
+        throw std::invalid_argument("buildRfc: n1 must be even >= 2");
+    if (n1 < radix)
+        throw std::invalid_argument("buildRfc: n1 must be >= radix (top "
+                                    "switches have R down links)");
+
+    const int m = radix / 2;
+    std::vector<int> level_count(levels, n1);
+    level_count[levels - 1] = n1 / 2;
+
+    FoldedClos fc(level_count, radix, m,
+                  "RFC(R=" + std::to_string(radix) +
+                      ",l=" + std::to_string(levels) +
+                      ",N1=" + std::to_string(n1) + ")");
+
+    for (int lv = 1; lv < levels; ++lv) {
+        const int lower_n = fc.switchesAtLevel(lv);
+        const int upper_n = fc.switchesAtLevel(lv + 1);
+        const int upper_deg = (lv + 1 == levels) ? radix : m;
+        BipartiteGraph bg =
+            randomBipartiteGraph(lower_n, m, upper_n, upper_deg, rng);
+        const int lo = fc.levelOffset(lv);
+        const int uo = fc.levelOffset(lv + 1);
+        for (int u = 0; u < lower_n; ++u)
+            for (int v : bg.adj1[u])
+                fc.addLink(lo + u, uo + v);
+    }
+    return fc;
+}
+
+RfcBuildResult
+buildRfc(int radix, int levels, int n1, Rng &rng, int max_attempts)
+{
+    RfcBuildResult result;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        result.topology = buildRfcUnchecked(radix, levels, n1, rng);
+        result.attempts = attempt;
+        UpDownOracle oracle(result.topology);
+        if (oracle.routable()) {
+            result.routable = true;
+            return result;
+        }
+    }
+    result.routable = false;
+    return result;
+}
+
+int
+rfcMaxLeaves(int radix, int levels)
+{
+    const double m = radix / 2.0;
+    const double target = std::pow(m, 2.0 * (levels - 1));
+    // Solve N1 ln N1 = target by binary search.
+    double lo = 2.0, hi = 2.0;
+    while (hi * std::log(hi) < target)
+        hi *= 2.0;
+    for (int it = 0; it < 200; ++it) {
+        double mid = (lo + hi) / 2.0;
+        if (mid * std::log(mid) < target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    int n1 = static_cast<int>(lo);
+    if (n1 % 2)
+        --n1;
+    return std::max(n1, 2);
+}
+
+int
+rfcThresholdRadix(int n1, int levels, double x)
+{
+    // ln C(N1, 2) = ln(N1 (N1-1) / 2).
+    double log_pairs = std::log(static_cast<double>(n1)) +
+                       std::log(static_cast<double>(n1 - 1)) -
+                       std::log(2.0);
+    double rhs = (n1 / 2.0) * (log_pairs + x);
+    if (rhs < 1.0)
+        rhs = 1.0;
+    double m = std::pow(rhs, 1.0 / (2.0 * (levels - 1)));
+    int mi = static_cast<int>(std::ceil(m - 1e-9));
+    return 2 * std::max(mi, 1);
+}
+
+double
+rfcRoutableProbability(int radix, int levels, int n1)
+{
+    // Invert Theorem 4.2 for x, then return e^{-e^{-x}}.
+    double m = radix / 2.0;
+    double log_pairs = std::log(static_cast<double>(n1)) +
+                       std::log(static_cast<double>(n1 - 1)) -
+                       std::log(2.0);
+    double x = std::pow(m, 2.0 * (levels - 1)) / (n1 / 2.0) - log_pairs;
+    return std::exp(-std::exp(-x));
+}
+
+} // namespace rfc

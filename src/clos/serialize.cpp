@@ -1,0 +1,147 @@
+#include "clos/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rfc {
+
+void
+saveTopology(const FoldedClos &fc, std::ostream &os)
+{
+    os << "rfc-topology 1\n";
+    os << "name " << fc.name() << "\n";
+    os << "radix " << fc.radix() << "\n";
+    os << "terminals-per-leaf " << fc.terminalsPerLeaf() << "\n";
+    os << "levels " << fc.levels();
+    for (int lv = 1; lv <= fc.levels(); ++lv)
+        os << " " << fc.switchesAtLevel(lv);
+    os << "\n";
+    auto links = fc.links();
+    os << "links " << links.size() << "\n";
+    for (const auto &l : links)
+        os << l.lower << " " << l.upper << "\n";
+    os << "end\n";
+}
+
+namespace {
+
+/** Next non-comment, non-empty line. */
+std::string
+nextLine(std::istream &is)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        auto nonspace = line.find_first_not_of(" \t\r");
+        if (nonspace == std::string::npos)
+            continue;
+        return line;
+    }
+    throw std::runtime_error("loadTopology: unexpected end of input");
+}
+
+/** Expect @p key at the start of @p line and return the remainder. */
+std::istringstream
+expect(const std::string &line, const std::string &key)
+{
+    std::istringstream ss(line);
+    std::string head;
+    ss >> head;
+    if (head != key)
+        throw std::runtime_error("loadTopology: expected '" + key +
+                                 "', got '" + head + "'");
+    return ss;
+}
+
+} // namespace
+
+FoldedClos
+loadTopology(std::istream &is)
+{
+    {
+        auto ss = expect(nextLine(is), "rfc-topology");
+        int version = 0;
+        ss >> version;
+        if (version != 1)
+            throw std::runtime_error("loadTopology: unsupported version");
+    }
+    std::string name;
+    {
+        auto ss = expect(nextLine(is), "name");
+        std::getline(ss, name);
+        auto nonspace = name.find_first_not_of(' ');
+        if (nonspace != std::string::npos)
+            name = name.substr(nonspace);
+    }
+    int radix = 0, tpl = 0, levels = 0;
+    {
+        auto ss = expect(nextLine(is), "radix");
+        ss >> radix;
+    }
+    {
+        auto ss = expect(nextLine(is), "terminals-per-leaf");
+        ss >> tpl;
+    }
+    std::vector<int> counts;
+    {
+        auto ss = expect(nextLine(is), "levels");
+        ss >> levels;
+        for (int i = 0; i < levels; ++i) {
+            int c = 0;
+            if (!(ss >> c))
+                throw std::runtime_error("loadTopology: bad level list");
+            counts.push_back(c);
+        }
+    }
+    if (counts.empty() || radix <= 0 || tpl <= 0)
+        throw std::runtime_error("loadTopology: bad header");
+
+    FoldedClos fc(counts, radix, tpl, name);
+    long long nlinks = 0;
+    {
+        auto ss = expect(nextLine(is), "links");
+        ss >> nlinks;
+    }
+    for (long long i = 0; i < nlinks; ++i) {
+        auto ss = std::istringstream(nextLine(is));
+        int lo = -1, hi = -1;
+        if (!(ss >> lo >> hi))
+            throw std::runtime_error("loadTopology: bad link line");
+        if (lo < 0 || hi < 0 || lo >= fc.numSwitches() ||
+            hi >= fc.numSwitches())
+            throw std::runtime_error("loadTopology: link out of range");
+        fc.addLink(lo, hi);
+    }
+    expect(nextLine(is), "end");
+    if (!fc.validate())
+        throw std::runtime_error("loadTopology: inconsistent topology");
+    return fc;
+}
+
+void
+writeDot(const FoldedClos &fc, std::ostream &os)
+{
+    os << "graph \"" << fc.name() << "\" {\n";
+    os << "  rankdir=BT;\n";
+    for (int lv = 1; lv <= fc.levels(); ++lv) {
+        os << "  { rank=same;";
+        int lo = fc.levelOffset(lv);
+        for (int s = lo; s < lo + fc.switchesAtLevel(lv); ++s)
+            os << " s" << s << ";";
+        os << " }\n";
+    }
+    for (int s = 0; s < fc.numSwitches(); ++s) {
+        os << "  s" << s << " [label=\"L" << fc.levelOf(s) << ":" << s
+           << "\" shape=box];\n";
+    }
+    for (const auto &l : fc.links())
+        os << "  s" << l.lower << " -- s" << l.upper << ";\n";
+    os << "}\n";
+}
+
+} // namespace rfc

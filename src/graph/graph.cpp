@@ -1,0 +1,53 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace rfc {
+
+bool
+Graph::hasEdge(int u, int v) const
+{
+    const auto &a = adj_[u];
+    return std::find(a.begin(), a.end(), v) != a.end();
+}
+
+bool
+Graph::isRegular(int d) const
+{
+    for (const auto &a : adj_)
+        if (static_cast<int>(a.size()) != d)
+            return false;
+    return true;
+}
+
+std::vector<std::pair<int, int>>
+Graph::edges() const
+{
+    std::vector<std::pair<int, int>> out;
+    out.reserve(num_edges_);
+    for (int u = 0; u < numVertices(); ++u)
+        for (int v : adj_[u])
+            if (u < v)
+                out.emplace_back(u, v);
+    return out;
+}
+
+int
+Graph::minDegree() const
+{
+    int m = adj_.empty() ? 0 : degree(0);
+    for (int u = 1; u < numVertices(); ++u)
+        m = std::min(m, degree(u));
+    return m;
+}
+
+int
+Graph::maxDegree() const
+{
+    int m = 0;
+    for (int u = 0; u < numVertices(); ++u)
+        m = std::max(m, degree(u));
+    return m;
+}
+
+} // namespace rfc

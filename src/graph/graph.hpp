@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simple undirected graph used by the random-topology substrate.
+ *
+ * All topologies in this library (random regular networks, folded Clos
+ * variants) can be lowered to this representation for the structural
+ * analyses of the paper: diameter (Figure 5), bisection (Section 4.2) and
+ * disconnection under faults (Table 3).
+ */
+#ifndef RFC_GRAPH_GRAPH_HPP
+#define RFC_GRAPH_GRAPH_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rfc {
+
+/** Undirected simple graph with adjacency lists. */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Create a graph with @p n vertices and no edges. */
+    explicit Graph(int n) : adj_(n) {}
+
+    int numVertices() const { return static_cast<int>(adj_.size()); }
+
+    /** Number of undirected edges. */
+    std::size_t numEdges() const { return num_edges_; }
+
+    /** Add the undirected edge {u, v}. Does not check for duplicates. */
+    void
+    addEdge(int u, int v)
+    {
+        adj_[u].push_back(v);
+        adj_[v].push_back(u);
+        ++num_edges_;
+    }
+
+    /** Neighbors of @p u. */
+    const std::vector<int> &neighbors(int u) const { return adj_[u]; }
+
+    int degree(int u) const { return static_cast<int>(adj_[u].size()); }
+
+    /** True iff v appears in u's adjacency list (linear scan). */
+    bool hasEdge(int u, int v) const;
+
+    /** True iff every vertex has degree @p d. */
+    bool isRegular(int d) const;
+
+    /** Materialize the edge list (u < v once per edge). */
+    std::vector<std::pair<int, int>> edges() const;
+
+    /** Minimum vertex degree (0 for the empty graph). */
+    int minDegree() const;
+
+    /** Maximum vertex degree (0 for the empty graph). */
+    int maxDegree() const;
+
+  private:
+    std::vector<std::vector<int>> adj_;
+    std::size_t num_edges_ = 0;
+};
+
+} // namespace rfc
+
+#endif // RFC_GRAPH_GRAPH_HPP

@@ -1,0 +1,108 @@
+#include "graph/ksp.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace rfc {
+
+namespace {
+
+/**
+ * BFS shortest path from src to dst avoiding banned vertices and banned
+ * edges; returns an empty path when unreachable.
+ */
+Path
+restrictedShortestPath(const Graph &g, int src, int dst,
+                       const std::vector<char> &banned_vertex,
+                       const std::set<std::pair<int, int>> &banned_edge)
+{
+    std::vector<int> prev(g.numVertices(), -2);
+    std::vector<int> queue;
+    prev[src] = -1;
+    queue.push_back(src);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        int u = queue[head];
+        if (u == dst)
+            break;
+        for (int v : g.neighbors(u)) {
+            if (prev[v] != -2 || banned_vertex[v])
+                continue;
+            if (banned_edge.count({u, v}))
+                continue;
+            prev[v] = u;
+            queue.push_back(v);
+        }
+    }
+    if (prev[dst] == -2)
+        return {};
+    Path p;
+    for (int v = dst; v != -1; v = prev[v])
+        p.push_back(v);
+    std::reverse(p.begin(), p.end());
+    return p;
+}
+
+} // namespace
+
+std::vector<Path>
+kShortestPaths(const Graph &g, int src, int dst, int k)
+{
+    std::vector<Path> result;
+    if (src == dst || k <= 0)
+        return result;
+
+    std::vector<char> no_ban(g.numVertices(), 0);
+    Path first = restrictedShortestPath(g, src, dst, no_ban, {});
+    if (first.empty())
+        return result;
+    result.push_back(first);
+
+    // Candidate set ordered by (length, path) for deterministic output.
+    std::set<std::pair<std::size_t, Path>> candidates;
+
+    while (static_cast<int>(result.size()) < k) {
+        const Path &last = result.back();
+        for (std::size_t i = 0; i + 1 < last.size(); ++i) {
+            // Spur node and root path.
+            int spur = last[i];
+            Path root(last.begin(), last.begin() + i + 1);
+
+            std::set<std::pair<int, int>> banned_edge;
+            for (const Path &p : result) {
+                if (p.size() > i &&
+                    std::equal(root.begin(), root.end(), p.begin())) {
+                    banned_edge.insert({p[i], p[i + 1]});
+                    banned_edge.insert({p[i + 1], p[i]});
+                }
+            }
+            std::vector<char> banned_vertex(g.numVertices(), 0);
+            for (std::size_t j = 0; j < i; ++j)
+                banned_vertex[root[j]] = 1;
+
+            Path spur_path = restrictedShortestPath(
+                g, spur, dst, banned_vertex, banned_edge);
+            if (spur_path.empty())
+                continue;
+            Path total = root;
+            total.insert(total.end(), spur_path.begin() + 1,
+                         spur_path.end());
+            candidates.insert({total.size(), total});
+        }
+        if (candidates.empty())
+            break;
+        auto it = candidates.begin();
+        // Skip candidates already chosen.
+        while (it != candidates.end() &&
+               std::find(result.begin(), result.end(), it->second) !=
+                   result.end()) {
+            it = candidates.erase(it);
+        }
+        if (it == candidates.end())
+            break;
+        result.push_back(it->second);
+        candidates.erase(it);
+    }
+    return result;
+}
+
+} // namespace rfc

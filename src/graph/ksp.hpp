@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Yen's k-shortest loopless paths on unit-weight graphs.
+ *
+ * The Jellyfish paper (and Section 6 of this paper) note that random
+ * regular networks need k-shortest-path routing to perform well; this
+ * module provides that substrate for the RRN comparisons and examples.
+ */
+#ifndef RFC_GRAPH_KSP_HPP
+#define RFC_GRAPH_KSP_HPP
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rfc {
+
+/** A path as the sequence of visited vertices (src first, dst last). */
+using Path = std::vector<int>;
+
+/**
+ * Compute up to @p k shortest loopless paths from @p src to @p dst.
+ * Paths are returned sorted by length (ties in discovery order); fewer
+ * than k paths are returned when the graph does not contain them.
+ */
+std::vector<Path> kShortestPaths(const Graph &g, int src, int dst, int k);
+
+} // namespace rfc
+
+#endif // RFC_GRAPH_KSP_HPP

@@ -1,0 +1,124 @@
+#include "graph/random_bipartite.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace rfc {
+
+bool
+BipartiteGraph::isBiregular(int d1, int d2) const
+{
+    for (const auto &a : adj1)
+        if (static_cast<int>(a.size()) != d1)
+            return false;
+    for (const auto &a : adj2)
+        if (static_cast<int>(a.size()) != d2)
+            return false;
+    return true;
+}
+
+bool
+BipartiteGraph::isSimple() const
+{
+    for (int u = 0; u < n1; ++u) {
+        std::set<int> s(adj1[u].begin(), adj1[u].end());
+        if (s.size() != adj1[u].size())
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** One pairing attempt; false means restart (residual infeasible). */
+bool
+tryPairing(int n1, int d1, int n2, int d2, Rng &rng, BipartiteGraph &bg)
+{
+    for (auto &a : bg.adj1)
+        a.clear();
+    for (auto &a : bg.adj2)
+        a.clear();
+
+    std::vector<int> pts1(static_cast<std::size_t>(n1) * d1);
+    std::vector<int> pts2(static_cast<std::size_t>(n2) * d2);
+    for (std::size_t i = 0; i < pts1.size(); ++i)
+        pts1[i] = static_cast<int>(i);
+    for (std::size_t i = 0; i < pts2.size(); ++i)
+        pts2[i] = static_cast<int>(i);
+
+    auto has_edge = [&](int u, int v) {
+        const auto &a = bg.adj1[u];
+        return std::find(a.begin(), a.end(), v) != a.end();
+    };
+    auto commit = [&](std::size_t i, std::size_t j, int u, int v) {
+        std::swap(pts1[i], pts1.back());
+        std::swap(pts2[j], pts2.back());
+        pts1.pop_back();
+        pts2.pop_back();
+        bg.adj1[u].push_back(v);
+        bg.adj2[v].push_back(u);
+    };
+
+    while (!pts1.empty()) {
+        bool paired = false;
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            std::size_t i = rng.uniform(pts1.size());
+            std::size_t j = rng.uniform(pts2.size());
+            int u = pts1[i] / d1;
+            int v = pts2[j] / d2;
+            if (!has_edge(u, v)) {
+                commit(i, j, u, v);
+                paired = true;
+                break;
+            }
+        }
+        if (paired)
+            continue;
+
+        // Exhaustive feasibility check over residual free points.
+        bool feasible = false;
+        for (std::size_t i = 0; i < pts1.size() && !feasible; ++i) {
+            for (std::size_t j = 0; j < pts2.size(); ++j) {
+                int u = pts1[i] / d1;
+                int v = pts2[j] / d2;
+                if (!has_edge(u, v)) {
+                    commit(i, j, u, v);
+                    feasible = true;
+                    break;
+                }
+            }
+        }
+        if (!feasible)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+BipartiteGraph
+randomBipartiteGraph(int n1, int d1, int n2, int d2, Rng &rng)
+{
+    if (n1 <= 0 || n2 <= 0 || d1 <= 0 || d2 <= 0)
+        throw std::invalid_argument("randomBipartiteGraph: sizes/degrees "
+                                    "must be positive");
+    if (static_cast<long long>(n1) * d1 != static_cast<long long>(n2) * d2)
+        throw std::invalid_argument("randomBipartiteGraph: n1*d1 != n2*d2");
+    if (d1 > n2 || d2 > n1)
+        throw std::invalid_argument("randomBipartiteGraph: degree exceeds "
+                                    "opposite part size");
+
+    BipartiteGraph bg;
+    bg.n1 = n1;
+    bg.n2 = n2;
+    bg.adj1.resize(n1);
+    bg.adj2.resize(n2);
+    while (!tryPairing(n1, d1, n2, d2, rng, bg)) {
+        // restart, expected O(1) times
+    }
+    return bg;
+}
+
+} // namespace rfc

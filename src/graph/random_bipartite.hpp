@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Random regular bipartite graph generation (Listing 2 of the paper).
+ *
+ * A random folded Clos network is assembled from l-1 of these bipartite
+ * graphs, one per pair of adjacent switch levels.
+ */
+#ifndef RFC_GRAPH_RANDOM_BIPARTITE_HPP
+#define RFC_GRAPH_RANDOM_BIPARTITE_HPP
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rfc {
+
+/**
+ * A bipartite graph between a left part of n1 vertices and a right part
+ * of n2 vertices, stored as adjacency lists on both sides.
+ */
+struct BipartiteGraph
+{
+    int n1 = 0;                          //!< left vertices
+    int n2 = 0;                          //!< right vertices
+    std::vector<std::vector<int>> adj1;  //!< left -> right neighbors
+    std::vector<std::vector<int>> adj2;  //!< right -> left neighbors
+
+    /** True iff all left degrees equal d1 and all right degrees d2. */
+    bool isBiregular(int d1, int d2) const;
+
+    /** True iff no (u, v) pair appears twice. */
+    bool isSimple() const;
+};
+
+/**
+ * Generate a random simple bipartite graph where every left vertex has
+ * degree @p d1 and every right vertex degree @p d2.
+ *
+ * @pre n1*d1 == n2*d2 (port count balance), d1 <= n2 and d2 <= n1.
+ */
+BipartiteGraph randomBipartiteGraph(int n1, int d1, int n2, int d2,
+                                    Rng &rng);
+
+} // namespace rfc
+
+#endif // RFC_GRAPH_RANDOM_BIPARTITE_HPP

@@ -1,0 +1,112 @@
+#include "graph/random_regular.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfc {
+
+namespace {
+
+/**
+ * One pairing attempt.  Returns true and fills @p adj on success; returns
+ * false when the residual point set admits no suitable pair (caller
+ * restarts, as in the paper's Listing 1).
+ */
+bool
+tryPairing(int n, int d, Rng &rng, std::vector<std::vector<int>> &adj)
+{
+    for (auto &a : adj)
+        a.clear();
+
+    // U holds the free points; point p belongs to vertex p / d.
+    std::vector<int> points(static_cast<std::size_t>(n) * d);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        points[i] = static_cast<int>(i);
+
+    auto has_edge = [&](int u, int v) {
+        const auto &a = adj[u];
+        return std::find(a.begin(), a.end(), v) != a.end();
+    };
+
+    while (!points.empty()) {
+        bool paired = false;
+        // Rejection-sample suitable pairs.  The expected number of tries
+        // is small except near exhaustion, where we fall back to an
+        // exhaustive feasibility check.
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            std::size_t i = rng.uniform(points.size());
+            std::swap(points[i], points.back());
+            std::size_t j = rng.uniform(points.size() - 1);
+            std::swap(points[j], points[points.size() - 2]);
+            int u = points[points.size() - 1] / d;
+            int v = points[points.size() - 2] / d;
+            if (u != v && !has_edge(u, v)) {
+                points.pop_back();
+                points.pop_back();
+                adj[u].push_back(v);
+                adj[v].push_back(u);
+                paired = true;
+                break;
+            }
+        }
+        if (paired)
+            continue;
+
+        // Exhaustive check: does any suitable pair remain?
+        bool feasible = false;
+        for (std::size_t a = 0; a < points.size() && !feasible; ++a) {
+            for (std::size_t b = a + 1; b < points.size(); ++b) {
+                int u = points[a] / d, v = points[b] / d;
+                if (u != v && !has_edge(u, v)) {
+                    feasible = true;
+                    // Pair them directly so progress is guaranteed.
+                    std::swap(points[b], points.back());
+                    // 'a' may alias the moved element only if a == b,
+                    // excluded by a < b; but a could equal size-1 before
+                    // the swap - it cannot, because b > a.
+                    std::swap(points[a], points[points.size() - 2]);
+                    points.pop_back();
+                    points.pop_back();
+                    adj[u].push_back(v);
+                    adj[v].push_back(u);
+                    break;
+                }
+            }
+        }
+        if (!feasible)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Graph
+randomRegularGraph(int n, int d, Rng &rng)
+{
+    if (n <= 0 || d < 0 || d >= n)
+        throw std::invalid_argument("randomRegularGraph: need 0 <= d < n");
+    if ((static_cast<long long>(n) * d) % 2 != 0)
+        throw std::invalid_argument("randomRegularGraph: n*d must be even");
+
+    std::vector<std::vector<int>> adj(n);
+    while (!tryPairing(n, d, rng, adj)) {
+        // restart; Steger-Wormald shows the expected number of restarts
+        // is O(1) for fixed d.
+    }
+
+    Graph g(n);
+    for (int u = 0; u < n; ++u)
+        for (int v : adj[u])
+            if (u < v)
+                g.addEdge(u, v);
+    return g;
+}
+
+Graph
+randomRegularNetwork(int switches, int degree, Rng &rng)
+{
+    return randomRegularGraph(switches, degree, rng);
+}
+
+} // namespace rfc

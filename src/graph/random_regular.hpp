@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Steger-Wormald style generation of random regular graphs.
+ *
+ * This is the C++ counterpart of Listing 1 of the paper (itself an
+ * improved implementation of the Steger-Wormald pairing algorithm): pair
+ * random free points, rejecting loops and multi-edges, and restart from
+ * scratch when the residual pairing becomes infeasible.  Expected time is
+ * O(N * Delta * ln Delta) per attempt.
+ */
+#ifndef RFC_GRAPH_RANDOM_REGULAR_HPP
+#define RFC_GRAPH_RANDOM_REGULAR_HPP
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+
+/**
+ * Generate a random @p d -regular simple graph on @p n vertices.
+ *
+ * @param n Number of vertices; n*d must be even and d < n.
+ * @param d Vertex degree.
+ * @param rng Random source (deterministic given its seed).
+ * @return A d-regular graph drawn (asymptotically) uniformly at random.
+ */
+Graph randomRegularGraph(int n, int d, Rng &rng);
+
+/**
+ * Build a Jellyfish-style random regular network: a random d-regular
+ * switch graph where each switch additionally hosts @p hosts_per_switch
+ * terminals on the remaining ports (radix = d + hosts_per_switch).
+ * Only the switch graph is returned; terminal attachment is implicit.
+ */
+Graph randomRegularNetwork(int switches, int degree, Rng &rng);
+
+} // namespace rfc
+
+#endif // RFC_GRAPH_RANDOM_REGULAR_HPP

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Spectral expansion estimation.
+ *
+ * Random regular graphs and random folded Clos wirings are good expanders
+ * (the paper traces this lineage to Bassalygo-Pinsker).  The second
+ * eigenvalue of the adjacency operator certifies expansion: for a
+ * d-regular graph, edge expansion >= (d - lambda2) / 2.
+ */
+#ifndef RFC_GRAPH_SPECTRAL_HPP
+#define RFC_GRAPH_SPECTRAL_HPP
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+
+/**
+ * Estimate the second-largest adjacency eigenvalue of a connected
+ * d-regular graph by power iteration in the complement of the all-ones
+ * eigenvector.
+ *
+ * @param g Connected regular graph.
+ * @param iterations Power-iteration steps (a few hundred suffice).
+ * @param rng Source for the random start vector.
+ * @return lambda2 estimate (<= d; < d for connected non-bipartite graphs).
+ */
+double secondEigenvalue(const Graph &g, int iterations, Rng &rng);
+
+/** Cheeger-style edge expansion lower bound (d - lambda2) / 2. */
+double spectralExpansionBound(int degree, double lambda2);
+
+} // namespace rfc
+
+#endif // RFC_GRAPH_SPECTRAL_HPP

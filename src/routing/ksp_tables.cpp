@@ -1,0 +1,51 @@
+#include "routing/ksp_tables.hpp"
+
+namespace rfc {
+
+KspRoutes::KspRoutes(const Graph &g, int k)
+    : n_(g.numVertices()),
+      table_(static_cast<std::size_t>(g.numVertices()) *
+             g.numVertices())
+{
+    for (int s = 0; s < n_; ++s) {
+        for (int d = 0; d < n_; ++d) {
+            if (s == d)
+                continue;
+            auto paths = kShortestPaths(g, s, d, k);
+            auto &slot = table_[static_cast<std::size_t>(s) * n_ + d];
+            slot = std::move(paths);
+            if (!slot.empty())
+                ++connected_pairs_;
+            for (const auto &p : slot) {
+                int hops = static_cast<int>(p.size()) - 1;
+                max_hops_ = std::max(max_hops_, hops);
+                total_hops_ += hops;
+            }
+        }
+    }
+}
+
+const Path *
+KspRoutes::pickPath(int src, int dst, Rng &rng) const
+{
+    const auto &slot = paths(src, dst);
+    if (slot.empty())
+        return nullptr;
+    return &slot[rng.uniform(slot.size())];
+}
+
+const Path *
+KspRoutes::pickShortest(int src, int dst, Rng &rng) const
+{
+    const auto &slot = paths(src, dst);
+    if (slot.empty())
+        return nullptr;
+    // Paths are sorted by length; the minimal prefix is the ECMP set.
+    std::size_t count = 1;
+    while (count < slot.size() &&
+           slot[count].size() == slot[0].size())
+        ++count;
+    return &slot[rng.uniform(count)];
+}
+
+} // namespace rfc

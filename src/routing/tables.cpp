@@ -1,0 +1,48 @@
+#include "routing/tables.hpp"
+
+namespace rfc {
+
+ForwardingTables::ForwardingTables(const FoldedClos &fc,
+                                   const UpDownOracle &oracle)
+    : leaves_(fc.numLeaves())
+{
+    const int switches = fc.numSwitches();
+    entries_.resize(static_cast<std::size_t>(switches) * leaves_);
+
+    std::vector<int> choices;
+    for (int sw = 0; sw < switches; ++sw) {
+        const auto n_up = static_cast<int>(fc.up(sw).size());
+        for (int d = 0; d < leaves_; ++d) {
+            if (sw == d)
+                continue;  // local delivery
+            auto &entry =
+                entries_[static_cast<std::size_t>(sw) * leaves_ + d];
+            int need = oracle.minUps(sw, d);
+            if (need < 0)
+                continue;  // unreachable (faulted network)
+            if (need == 0) {
+                oracle.downChoices(fc, sw, d, choices);
+                for (int idx : choices)
+                    entry.push_back(
+                        static_cast<std::uint16_t>(n_up + idx));
+            } else {
+                oracle.upChoices(fc, sw, d, choices);
+                for (int idx : choices)
+                    entry.push_back(static_cast<std::uint16_t>(idx));
+            }
+            if (!entry.empty()) {
+                ++populated_;
+                total_ports_ += static_cast<long long>(entry.size());
+            }
+        }
+    }
+}
+
+long long
+ForwardingTables::memoryBytes() const
+{
+    return total_ports_ * 2 +
+           static_cast<long long>(entries_.size()) * 4;
+}
+
+} // namespace rfc

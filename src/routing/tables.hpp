@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Forwarding-table generation: the deployable artifact of up/down
+ * routing.
+ *
+ * The UpDownOracle answers next-hop queries from reachability bitsets;
+ * real switches need explicit per-destination port lists.  This module
+ * materializes them - one table per switch mapping destination leaf to
+ * the set of minimal up/down output ports - and reports the memory
+ * footprint, which is the practical cost the paper's "simple ECMP
+ * routing" claim rests on.
+ */
+#ifndef RFC_ROUTING_TABLES_HPP
+#define RFC_ROUTING_TABLES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "clos/folded_clos.hpp"
+#include "routing/updown.hpp"
+
+namespace rfc {
+
+/**
+ * Explicit ECMP forwarding tables for every switch.
+ *
+ * Port numbering per switch: ports [0, up.size()) go to parents in
+ * up() order; ports [up.size(), up.size()+down.size()) go to children
+ * in down() order.  At a leaf, a destination equal to the leaf itself
+ * has no entry (delivery is local).
+ */
+class ForwardingTables
+{
+  public:
+    /** Build tables for @p fc using oracle-minimal up/down routes. */
+    ForwardingTables(const FoldedClos &fc, const UpDownOracle &oracle);
+
+    /** Minimal next-hop ports at @p sw toward @p dest_leaf. */
+    const std::vector<std::uint16_t> &
+    ports(int sw, int dest_leaf) const
+    {
+        return entries_[static_cast<std::size_t>(sw) * leaves_ +
+                        dest_leaf];
+    }
+
+    /** Number of (switch, destination) entries with at least one port. */
+    long long populatedEntries() const { return populated_; }
+
+    /** Total stored port references (the ECMP fan-out mass). */
+    long long totalPorts() const { return total_ports_; }
+
+    /**
+     * Approximate table memory in bytes (2-byte ports plus a 4-byte
+     * offset per entry), the figure a switch ASIC designer would ask
+     * about first.
+     */
+    long long memoryBytes() const;
+
+    int leaves() const { return leaves_; }
+
+  private:
+    int leaves_ = 0;
+    long long populated_ = 0;
+    long long total_ports_ = 0;
+    std::vector<std::vector<std::uint16_t>> entries_;
+};
+
+} // namespace rfc
+
+#endif // RFC_ROUTING_TABLES_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Up/down routing oracle for folded Clos networks (Section 4.1).
+ *
+ * Up/down routing sends a packet up some number of levels to a common
+ * ancestor of source and destination leaf, then down; it is deadlock
+ * free without virtual channels because the channel dependency graph is
+ * acyclic.  In a fat-tree the ancestor structure is implicit in the
+ * wiring; in a *random* folded Clos it must be discovered.  The oracle
+ * stores, per switch s and ascent budget j, the bitset reach_j[s] of
+ * leaves reachable by at most j up hops followed by down hops only.
+ * This yields:
+ *
+ *  - exact minimal up/down ECMP next-hop choices in O(degree) per hop,
+ *  - the network-wide routability predicate of Theorem 4.2
+ *    (reach_{l-1}[leaf] = all leaves, for every leaf), and
+ *  - minimal up/down path lengths for latency accounting.
+ */
+#ifndef RFC_ROUTING_UPDOWN_HPP
+#define RFC_ROUTING_UPDOWN_HPP
+
+#include <vector>
+
+#include "clos/folded_clos.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+
+/** Reachability oracle and ECMP chooser for up/down routing. */
+class UpDownOracle
+{
+  public:
+    UpDownOracle() = default;
+
+    /** Build the oracle for @p fc (O(l * switches * leaves / 64) time). */
+    explicit UpDownOracle(const FoldedClos &fc) { build(fc); }
+
+    /** (Re)build for a (possibly modified) topology. */
+    void build(const FoldedClos &fc);
+
+    /** Leaves reachable from @p s going only down. */
+    const DynBitset &below(int s) const { return reach_[0][s]; }
+
+    /** Leaves reachable from @p s with at most @p ups up hops. */
+    const DynBitset &
+    reach(int s, int ups) const
+    {
+        return reach_[ups][s];
+    }
+
+    /**
+     * Minimum number of up hops needed from switch @p s to reach leaf
+     * @p dest_leaf (0 if dest is below s); -1 if unreachable by any
+     * up/down continuation.
+     */
+    int minUps(int s, int dest_leaf) const;
+
+    /** Minimal up/down distance between two leaves (0 if equal). */
+    int leafDistance(int a, int b) const;
+
+    /**
+     * Mean minimal up/down distance over all ordered leaf pairs with a
+     * route (the oracle-level counterpart of the simulator's avg-hops
+     * statistic at zero load).
+     */
+    double averageLeafDistance() const;
+
+    /** True iff every leaf pair has a common ancestor (Theorem 4.2). */
+    bool routable() const;
+
+    /** Fraction of unordered leaf pairs with a common ancestor. */
+    double routablePairFraction() const;
+
+    /**
+     * Minimal next-hop down choices: indices into fc.down(s) of children
+     * c with dest below c.  Only valid when minUps(s, dest) == 0 and s
+     * is not the destination leaf.
+     */
+    void downChoices(const FoldedClos &fc, int s, int dest_leaf,
+                     std::vector<int> &out) const;
+
+    /**
+     * Minimal next-hop up choices: indices into fc.up(s) of parents p
+     * with minUps(p, dest) == minUps(s, dest) - 1.  Only valid when
+     * minUps(s, dest) >= 1.
+     */
+    void upChoices(const FoldedClos &fc, int s, int dest_leaf,
+                   std::vector<int> &out) const;
+
+    /**
+     * All feasible up choices ("request mode up/down random"): indices
+     * into fc.up(s) of parents from which the destination remains
+     * reachable by some up*down* continuation - not necessarily the
+     * minimal one.  Spreads adversarial point-to-point load over every
+     * usable parent at the cost of occasionally longer paths; still
+     * deadlock free and bounded by 2(l-1) hops.
+     */
+    void feasibleUpChoices(const FoldedClos &fc, int s, int dest_leaf,
+                           std::vector<int> &out) const;
+
+    /**
+     * One random minimal up/down next hop ("request mode up/down
+     * random").  @return the neighbor switch id, or -1 when dest is
+     * unreachable.
+     */
+    int randomNextHop(const FoldedClos &fc, int s, int dest_leaf,
+                      Rng &rng) const;
+
+    int numLeaves() const { return num_leaves_; }
+
+  private:
+    int levels_ = 0;
+    int num_leaves_ = 0;
+    // reach_[j][s]: leaves reachable from s with <= j up hops.
+    std::vector<std::vector<DynBitset>> reach_;
+};
+
+} // namespace rfc
+
+#endif // RFC_ROUTING_UPDOWN_HPP

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cycle-driven virtual cut-through simulator for *direct* networks
+ * (Jellyfish-style random regular networks).
+ *
+ * The paper excludes RRNs from its simulations because they need
+ * k-shortest-path routing plus a deadlock-avoidance mechanism; this
+ * simulator implements both so the comparison can actually be run:
+ *
+ *  - routing: a path is drawn uniformly from the KspRoutes table at
+ *    injection and followed hop by hop;
+ *  - deadlock freedom: hop-escalating virtual channels (a packet that
+ *    has crossed h links occupies VC h), the classic acyclic-ordering
+ *    argument, which requires vcs >= the table's maximum hop count -
+ *    the concrete "higher cost and complexity" of Section 1;
+ *  - flow control: identical to the folded Clos simulator (whole-packet
+ *    virtual cut-through, credits, random arbitration, Table 2
+ *    parameters), so CFT/RFC/RRN results are directly comparable.
+ */
+#ifndef RFC_SIM_DIRECT_HPP
+#define RFC_SIM_DIRECT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/ksp_tables.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+
+/** Path selection discipline at injection. */
+enum class PathPolicy
+{
+    kShortestEcmp,  //!< uniform among minimal-length paths
+    kAllKsp,        //!< uniform among all k stored paths
+};
+
+/** One direct-network simulation instance. */
+class DirectSimulator
+{
+  public:
+    /**
+     * Bind to a switch graph, its k-shortest-path tables and a traffic
+     * pattern; all must outlive the simulator.
+     *
+     * @param hosts_per_switch Terminals attached to every switch.
+     * @throws std::invalid_argument if cfg.vcs < routes.maxHops()
+     *         (hop-escalating VCs could not guarantee deadlock
+     *         freedom).
+     */
+    DirectSimulator(const Graph &g, const KspRoutes &routes,
+                    int hosts_per_switch, Traffic &traffic,
+                    SimConfig cfg,
+                    PathPolicy policy = PathPolicy::kShortestEcmp);
+
+    /** Run warm-up plus measurement and return the metrics. */
+    SimResult run();
+
+  private:
+    void buildStructures();
+    void processReleases(long long now);
+    void processGeneration(long long now);
+    void processInjection(long long now);
+    void arbitrateSwitch(int s, long long now);
+    void scheduleRelease(long long at, std::int32_t feeder, int vc);
+    void activateSwitch(int s);
+    void scheduleInjection(long long t, long long at);
+
+    const Graph &g_;
+    const KspRoutes &routes_;
+    const int hosts_;
+    Traffic &traffic_;
+    SimConfig cfg_;
+    PathPolicy policy_;
+    Rng rng_;
+
+    int num_switches_ = 0;
+    long long num_terms_ = 0;
+
+    // Port layout per switch: [0, deg) network ports in adjacency
+    // order, [deg, deg+hosts) terminal ports.
+    std::vector<std::int32_t> port_off_, n_net_, n_ports_;
+    std::vector<std::int32_t> port_owner_;
+    std::int64_t total_ports_ = 0;
+
+    std::vector<std::int64_t> out_peer_ivc_base_;  //!< -1 = ejection
+    std::vector<std::int64_t> out_busy_;
+    std::vector<std::int16_t> out_credits_;
+    std::vector<std::int64_t> in_busy_;
+    std::vector<std::int32_t> feeder_out_;  //!< out gid or -(term+1)
+
+    std::vector<std::int32_t> ring_pkt_;
+    std::vector<std::int32_t> ring_ready_;
+    std::vector<std::uint8_t> q_head_, q_count_;
+    std::vector<std::vector<std::uint16_t>> nonempty_;
+    std::vector<std::int32_t> nonempty_pos_;
+
+    std::vector<std::int64_t> inj_busy_;
+    std::vector<std::int8_t> inj_credits_;
+    std::vector<std::int32_t> src_dest_;
+    std::vector<std::int32_t> src_gen_;
+    std::vector<std::int16_t> sq_head_, sq_count_;
+    std::vector<std::int64_t> next_gen_;
+    std::vector<std::uint8_t> inj_scheduled_;
+
+    struct PoolPkt
+    {
+        const Path *path;       //!< chosen at injection
+        std::int32_t dest_term;
+        std::int16_t hop;       //!< links crossed so far
+        std::int32_t gen;
+    };
+    std::vector<PoolPkt> pool_;
+    std::vector<std::int32_t> free_pkts_;
+    std::int32_t allocPkt();
+
+    struct Release
+    {
+        std::int32_t feeder;
+        std::int8_t vc;
+    };
+    int wheel_size_ = 0;
+    std::vector<std::vector<Release>> release_wheel_;
+    static constexpr int kGenWheel = 1024;
+    std::vector<std::vector<std::int32_t>> gen_wheel_;
+    std::vector<std::vector<std::int32_t>> inj_wheel_;
+
+    std::vector<std::uint8_t> sw_active_;
+    std::vector<std::int32_t> active_list_, active_scratch_;
+
+    std::vector<std::int32_t> cand_ivc_, cand_count_;
+    std::vector<std::int64_t> cand_stamp_;
+    std::vector<std::int32_t> touched_outs_;
+
+    long long win_start_ = 0, win_end_ = 0;
+    long long delivered_ = 0, generated_ = 0, suppressed_ = 0;
+    long long unroutable_ = 0;
+    double lat_sum_ = 0.0, hop_sum_ = 0.0;
+    long long delivered_phits_ = 0;
+};
+
+} // namespace rfc
+
+#endif // RFC_SIM_DIRECT_HPP

@@ -1,0 +1,86 @@
+#include "sim/sweep.hpp"
+
+namespace rfc {
+
+namespace {
+
+/** Average a batch of per-seed results into one. */
+SimResult
+average(const std::vector<SimResult> &batch)
+{
+    SimResult out;
+    if (batch.empty())
+        return out;
+    for (const auto &r : batch) {
+        out.offered = r.offered;
+        out.accepted += r.accepted;
+        out.avg_latency += r.avg_latency;
+        out.p50_latency += r.p50_latency;
+        out.p99_latency += r.p99_latency;
+        out.avg_hops += r.avg_hops;
+        out.delivered_packets += r.delivered_packets;
+        out.generated_packets += r.generated_packets;
+        out.suppressed_packets += r.suppressed_packets;
+        out.unroutable_packets += r.unroutable_packets;
+    }
+    auto n = static_cast<double>(batch.size());
+    out.accepted /= n;
+    out.avg_latency /= n;
+    out.p50_latency /= n;
+    out.p99_latency /= n;
+    out.avg_hops /= n;
+    return out;
+}
+
+} // namespace
+
+std::vector<SimResult>
+runLoadSweep(const FoldedClos &fc, const UpDownOracle &oracle,
+             Traffic &traffic, const SimConfig &base,
+             const std::vector<double> &loads, int repetitions)
+{
+    std::vector<SimResult> out;
+    out.reserve(loads.size());
+    for (double load : loads) {
+        std::vector<SimResult> batch;
+        for (int rep = 0; rep < repetitions; ++rep) {
+            SimConfig cfg = base;
+            cfg.load = load;
+            cfg.seed = base.seed + 7919ULL * static_cast<std::uint64_t>(rep);
+            Simulator sim(fc, oracle, traffic, cfg);
+            batch.push_back(sim.run());
+        }
+        out.push_back(average(batch));
+    }
+    return out;
+}
+
+SimResult
+saturationThroughput(const FoldedClos &fc, const UpDownOracle &oracle,
+                     Traffic &traffic, SimConfig base, int repetitions)
+{
+    std::vector<SimResult> batch;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        SimConfig cfg = base;
+        cfg.load = 1.0;
+        cfg.seed = base.seed + 104729ULL * static_cast<std::uint64_t>(rep);
+        Simulator sim(fc, oracle, traffic, cfg);
+        batch.push_back(sim.run());
+    }
+    return average(batch);
+}
+
+std::vector<double>
+loadRange(double lo, double hi, int points)
+{
+    std::vector<double> out;
+    if (points <= 1) {
+        out.push_back(hi);
+        return out;
+    }
+    for (int i = 0; i < points; ++i)
+        out.push_back(lo + (hi - lo) * i / (points - 1));
+    return out;
+}
+
+} // namespace rfc

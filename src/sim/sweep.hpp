@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Experiment drivers: offered-load sweeps and saturation throughput.
+ *
+ * These produce the latency/throughput series of Figures 8-10 and the
+ * max-throughput-under-faults points of Figure 12.
+ */
+#ifndef RFC_SIM_SWEEP_HPP
+#define RFC_SIM_SWEEP_HPP
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace rfc {
+
+/**
+ * Run one simulation per offered load in @p loads, averaging
+ * @p repetitions seeds per point (the paper averages >= 5).
+ */
+std::vector<SimResult> runLoadSweep(const FoldedClos &fc,
+                                    const UpDownOracle &oracle,
+                                    Traffic &traffic,
+                                    const SimConfig &base,
+                                    const std::vector<double> &loads,
+                                    int repetitions = 1);
+
+/**
+ * Saturation (maximum accepted) throughput: simulate at offered load
+ * 1.0 and report the accepted load.
+ */
+SimResult saturationThroughput(const FoldedClos &fc,
+                               const UpDownOracle &oracle,
+                               Traffic &traffic, SimConfig base,
+                               int repetitions = 1);
+
+/** Evenly spaced loads in [lo, hi] with @p points entries. */
+std::vector<double> loadRange(double lo, double hi, int points);
+
+} // namespace rfc
+
+#endif // RFC_SIM_SWEEP_HPP

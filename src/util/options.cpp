@@ -1,0 +1,77 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rfc {
+
+Options::Options(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            throw std::invalid_argument("unexpected argument: " + arg);
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[arg] = argv[++i];
+        } else {
+            values_[arg] = "";  // bare flag
+        }
+    }
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Options::get(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Options::getInt(const std::string &name, std::int64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::stoll(it->second);
+}
+
+double
+Options::getDouble(const std::string &name, double def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::stod(it->second);
+}
+
+bool
+Options::getBool(const std::string &name, bool def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    return v.empty() || v == "1" || v == "true" || v == "yes";
+}
+
+bool
+Options::fullScale() const
+{
+    if (getBool("full", false))
+        return true;
+    const char *env = std::getenv("RFC_FULL");
+    return env && std::string(env) == "1";
+}
+
+} // namespace rfc

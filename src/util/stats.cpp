@@ -1,0 +1,46 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace rfc {
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::ci95() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+} // namespace rfc

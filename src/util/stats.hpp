@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Streaming statistics used to aggregate repeated experiment trials.
+ */
+#ifndef RFC_UTIL_STATS_HPP
+#define RFC_UTIL_STATS_HPP
+
+#include <cstddef>
+
+namespace rfc {
+
+/**
+ * Welford streaming accumulator for mean / variance / confidence interval.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 for fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Half-width of the normal-approximation 95% confidence interval. */
+    double ci95() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace rfc
+
+#endif // RFC_UTIL_STATS_HPP

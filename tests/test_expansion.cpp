@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for strong (incremental) RFC expansion (Section 5).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "clos/expansion.hpp"
+#include "clos/rfc.hpp"
+#include "routing/updown.hpp"
+
+namespace rfc {
+namespace {
+
+TEST(Expansion, AddsTwoPerLevelAndOneTop)
+{
+    Rng rng(3);
+    auto fc = buildRfcUnchecked(8, 3, 20, rng);
+    auto res = strongExpand(fc, 1, rng);
+    EXPECT_EQ(res.topology.switchesAtLevel(1), 22);
+    EXPECT_EQ(res.topology.switchesAtLevel(2), 22);
+    EXPECT_EQ(res.topology.switchesAtLevel(3), 11);
+}
+
+TEST(Expansion, AddsRadixTerminalsPerStep)
+{
+    Rng rng(5);
+    auto fc = buildRfcUnchecked(8, 3, 20, rng);
+    long long before = fc.numTerminals();
+    auto res = strongExpand(fc, 1, rng);
+    EXPECT_EQ(res.topology.numTerminals() - before, 8);  // R terminals
+    EXPECT_EQ(res.added_terminals, 8);
+}
+
+TEST(Expansion, PreservesRadixRegularity)
+{
+    Rng rng(7);
+    auto fc = buildRfcUnchecked(12, 3, 30, rng);
+    auto res = strongExpand(fc, 3, rng);
+    EXPECT_TRUE(res.topology.isRadixRegular());
+    EXPECT_TRUE(res.topology.validate());
+}
+
+TEST(Expansion, WiringStaysSimple)
+{
+    Rng rng(11);
+    auto fc = buildRfcUnchecked(8, 3, 24, rng);
+    auto res = strongExpand(fc, 5, rng);
+    for (int s = 0; s < res.topology.numSwitches(); ++s) {
+        std::set<int> seen(res.topology.up(s).begin(),
+                           res.topology.up(s).end());
+        EXPECT_EQ(seen.size(), res.topology.up(s).size());
+    }
+}
+
+TEST(Expansion, RewiringCountMatchesMinimalUpgrade)
+{
+    // Each step rewires 2m links per level pair: (l-1) * R total.
+    Rng rng(13);
+    auto fc = buildRfcUnchecked(8, 3, 20, rng);
+    auto res = strongExpand(fc, 1, rng);
+    EXPECT_EQ(res.rewired, 2 * 8);
+    auto res3 = strongExpand(fc, 3, rng);
+    EXPECT_EQ(res3.rewired, 3 * 2 * 8);
+}
+
+TEST(Expansion, WireCountGrowsLinearly)
+{
+    Rng rng(17);
+    auto fc = buildRfcUnchecked(8, 3, 20, rng);
+    long long w0 = fc.numWires();
+    auto res = strongExpand(fc, 4, rng);
+    // Each step adds 2 leaves (2m up-links) and 2 level-2 up ports
+    // worth of links: +2m per level pair.
+    EXPECT_EQ(res.topology.numWires() - w0, 4 * 2 * (8 / 2) * 2);
+}
+
+TEST(Expansion, RoutabilityPreservedBelowThreshold)
+{
+    // Expanding a small RFC (far below the Theorem 4.2 threshold) must
+    // keep up/down routing with overwhelming probability.
+    Rng rng(19);
+    int n1 = rfcMaxLeaves(12, 3) / 4;
+    if (n1 % 2)
+        --n1;
+    auto built = buildRfc(12, 3, n1, rng);
+    ASSERT_TRUE(built.routable);
+    auto res = strongExpand(built.topology, 2, rng);
+    UpDownOracle oracle(res.topology);
+    EXPECT_TRUE(oracle.routable());
+}
+
+TEST(Expansion, MultiStepAccumulates)
+{
+    Rng rng(23);
+    auto fc = buildRfcUnchecked(8, 3, 20, rng);
+    auto res = strongExpand(fc, 10, rng);
+    EXPECT_EQ(res.topology.switchesAtLevel(1), 40);
+    EXPECT_EQ(res.topology.switchesAtLevel(3), 20);
+    EXPECT_EQ(res.added_terminals, 80);
+}
+
+TEST(Expansion, TwoLevelNetworks)
+{
+    Rng rng(29);
+    auto fc = buildRfcUnchecked(8, 2, 16, rng);
+    auto res = strongExpand(fc, 2, rng);
+    EXPECT_EQ(res.topology.switchesAtLevel(1), 20);
+    EXPECT_EQ(res.topology.switchesAtLevel(2), 10);
+    EXPECT_TRUE(res.topology.isRadixRegular());
+}
+
+TEST(Expansion, RejectsSingleLevel)
+{
+    Rng rng(31);
+    FoldedClos fc({4}, 8, 4, "flat");
+    EXPECT_THROW(strongExpand(fc, 1, rng), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rfc

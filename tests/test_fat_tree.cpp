@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Structural tests for CFT and k-ary l-tree builders (Section 3).
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "clos/fat_tree.hpp"
+#include "graph/algorithms.hpp"
+#include "routing/updown.hpp"
+
+namespace rfc {
+namespace {
+
+class CftP : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(CftP, LevelCountsMatchClosedForm)
+{
+    auto [radix, levels] = GetParam();
+    auto fc = buildCft(radix, levels);
+    const long long m = radix / 2;
+    long long inner = 2;
+    for (int i = 1; i < levels; ++i)
+        inner *= m;
+    for (int lv = 1; lv < levels; ++lv)
+        EXPECT_EQ(fc.switchesAtLevel(lv), inner);
+    EXPECT_EQ(fc.switchesAtLevel(levels), inner / 2);
+    EXPECT_EQ(fc.numTerminals(), inner * m);  // 2 (R/2)^l
+}
+
+TEST_P(CftP, RadixRegularAndValid)
+{
+    auto [radix, levels] = GetParam();
+    auto fc = buildCft(radix, levels);
+    EXPECT_TRUE(fc.isRadixRegular());
+    EXPECT_TRUE(fc.validate());
+}
+
+TEST_P(CftP, UpDownRoutable)
+{
+    auto [radix, levels] = GetParam();
+    auto fc = buildCft(radix, levels);
+    UpDownOracle oracle(fc);
+    EXPECT_TRUE(oracle.routable());
+    EXPECT_DOUBLE_EQ(oracle.routablePairFraction(), 1.0);
+}
+
+TEST_P(CftP, DiameterIsTwiceLevelsMinusOne)
+{
+    auto [radix, levels] = GetParam();
+    auto fc = buildCft(radix, levels);
+    UpDownOracle oracle(fc);
+    int maxd = 0;
+    for (int a = 0; a < fc.numLeaves(); ++a)
+        for (int b = 0; b < fc.numLeaves(); ++b)
+            maxd = std::max(maxd, oracle.leafDistance(a, b));
+    EXPECT_EQ(maxd, 2 * (levels - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CftP,
+                         ::testing::Values(std::tuple{4, 2},
+                                           std::tuple{4, 3},
+                                           std::tuple{4, 4},
+                                           std::tuple{6, 3},
+                                           std::tuple{8, 2},
+                                           std::tuple{8, 3},
+                                           std::tuple{12, 2},
+                                           std::tuple{12, 3}));
+
+TEST(Cft, Figure1Case)
+{
+    // The 4-commodity fat-tree of Figure 1: R=4, l=4.
+    auto fc = buildCft(4, 4);
+    EXPECT_EQ(fc.switchesAtLevel(1), 16);
+    EXPECT_EQ(fc.switchesAtLevel(2), 16);
+    EXPECT_EQ(fc.switchesAtLevel(3), 16);
+    EXPECT_EQ(fc.switchesAtLevel(4), 8);
+    EXPECT_EQ(fc.numTerminals(), 32);
+    EXPECT_TRUE(fc.isRadixRegular());
+}
+
+TEST(Cft, PaperScenarioCounts)
+{
+    // Section 5: 3-level radix-36 CFT has 11,664 terminals and 648
+    // leaf switches.
+    auto fc = buildCft(36, 3);
+    EXPECT_EQ(fc.numTerminals(), 11664);
+    EXPECT_EQ(fc.numLeaves(), 648);
+    EXPECT_EQ(fc.switchesAtLevel(3), 324);
+    EXPECT_EQ(fc.numSwitches(), 648 + 648 + 324);
+    EXPECT_EQ(fc.numWires(), 2 * 648 * 18);
+}
+
+TEST(Cft, EveryLeafReachesEveryRoot)
+{
+    // CFTs are rearrangeably non-blocking; structurally, every root is
+    // a common ancestor of every leaf pair.
+    auto fc = buildCft(8, 3);
+    UpDownOracle oracle(fc);
+    int root0 = fc.levelOffset(3);
+    for (int r = root0; r < fc.numSwitches(); ++r)
+        EXPECT_TRUE(oracle.below(r).all());
+}
+
+TEST(Cft, SwitchGraphDiameterMatchesOracle)
+{
+    auto fc = buildCft(6, 3);
+    Graph g = fc.toGraph();
+    // Leaf-to-leaf BFS distance equals the oracle's up/down distance in
+    // a fat-tree (up/down routing is minimal there).
+    UpDownOracle oracle(fc);
+    for (int a = 0; a < fc.numLeaves(); ++a) {
+        auto dist = bfsDistances(g, a);
+        for (int b = 0; b < fc.numLeaves(); ++b)
+            EXPECT_EQ(dist[b], oracle.leafDistance(a, b));
+    }
+}
+
+TEST(KaryTree, CountsAndCapacity)
+{
+    // 4-ary 3-tree: k^l = 64 terminals, levels of 16 switches.
+    auto fc = buildKaryTree(4, 3);
+    EXPECT_EQ(fc.numTerminals(), 64);
+    EXPECT_EQ(fc.switchesAtLevel(1), 16);
+    EXPECT_EQ(fc.switchesAtLevel(2), 16);
+    EXPECT_EQ(fc.switchesAtLevel(3), 16);
+    EXPECT_TRUE(fc.validate());
+    UpDownOracle oracle(fc);
+    EXPECT_TRUE(oracle.routable());
+}
+
+TEST(KaryTree, HalfTheCftCapacity)
+{
+    auto kary = buildKaryTree(6, 3);
+    auto cft = buildCft(12, 3);
+    EXPECT_EQ(2 * kary.numTerminals(), cft.numTerminals());
+}
+
+TEST(PrunedCft, KeepsRequestedRoots)
+{
+    auto fc = buildPrunedCft(8, 3, 5);
+    EXPECT_EQ(fc.switchesAtLevel(3), 5);
+    EXPECT_EQ(fc.switchesAtLevel(1), 32);
+    EXPECT_TRUE(fc.validate());
+    EXPECT_FALSE(fc.isRadixRegular());  // free ports at level 2
+}
+
+TEST(PrunedCft, FullKeepEqualsCft)
+{
+    auto full = buildCft(8, 3);
+    auto same = buildPrunedCft(8, 3, full.switchesAtLevel(3));
+    EXPECT_EQ(same.numWires(), full.numWires());
+    EXPECT_TRUE(same.isRadixRegular());
+}
+
+TEST(PrunedCft, StillRoutableDownToOneRoot)
+{
+    for (int keep : {1, 3, 8}) {
+        auto fc = buildPrunedCft(8, 3, keep);
+        UpDownOracle oracle(fc);
+        EXPECT_TRUE(oracle.routable()) << "keep=" << keep;
+    }
+}
+
+TEST(PrunedCft, PruningIsBalancedAcrossTopSwitches)
+{
+    // Plane pruning: every level-2 switch keeps the same number of up
+    // links give or take one.
+    auto fc = buildPrunedCft(8, 3, 10);
+    int lo = 1 << 30, hi = 0;
+    int l2 = fc.levelOffset(2);
+    for (int s = l2; s < l2 + fc.switchesAtLevel(2); ++s) {
+        int d = static_cast<int>(fc.up(s).size());
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    EXPECT_LE(hi - lo, 1);
+    EXPECT_GE(lo, 1);
+}
+
+TEST(PrunedCft, WireCountScalesWithRoots)
+{
+    auto full = buildCft(8, 3);
+    auto half = buildPrunedCft(8, 3, full.switchesAtLevel(3) / 2);
+    // Each pruned root removes R links; lower levels are untouched.
+    long long pruned = full.numWires() - half.numWires();
+    EXPECT_EQ(pruned, full.switchesAtLevel(3) / 2 * 8);
+}
+
+TEST(PrunedCft, RejectsBadKeepCount)
+{
+    EXPECT_THROW(buildPrunedCft(8, 3, 0), std::invalid_argument);
+    EXPECT_THROW(buildPrunedCft(8, 3, 1000), std::invalid_argument);
+}
+
+TEST(Cft, RejectsOddRadix)
+{
+    EXPECT_THROW(buildCft(5, 2), std::invalid_argument);
+}
+
+TEST(Cft, SingleLevelIsOneSwitch)
+{
+    auto fc = buildCft(8, 1);
+    EXPECT_EQ(fc.numSwitches(), 1);
+    EXPECT_EQ(fc.numWires(), 0);
+}
+
+} // namespace
+} // namespace rfc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Direct unit tests for the FoldedClos container type.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "clos/folded_clos.hpp"
+
+namespace rfc {
+namespace {
+
+FoldedClos
+tiny()
+{
+    // 2 leaves, 1 root, radix 4, 2 terminals per leaf.
+    FoldedClos fc({2, 1}, 4, 2, "tiny");
+    fc.addLink(0, 2);
+    fc.addLink(0, 2);  // parallel link allowed by the container
+    fc.addLink(1, 2);
+    fc.addLink(1, 2);
+    return fc;
+}
+
+TEST(FoldedClos, LevelBookkeeping)
+{
+    auto fc = tiny();
+    EXPECT_EQ(fc.levels(), 2);
+    EXPECT_EQ(fc.numSwitches(), 3);
+    EXPECT_EQ(fc.switchesAtLevel(1), 2);
+    EXPECT_EQ(fc.switchesAtLevel(2), 1);
+    EXPECT_EQ(fc.levelOffset(1), 0);
+    EXPECT_EQ(fc.levelOffset(2), 2);
+    EXPECT_EQ(fc.levelOf(0), 1);
+    EXPECT_EQ(fc.levelOf(1), 1);
+    EXPECT_EQ(fc.levelOf(2), 2);
+}
+
+TEST(FoldedClos, TerminalMapping)
+{
+    auto fc = tiny();
+    EXPECT_EQ(fc.numLeaves(), 2);
+    EXPECT_EQ(fc.terminalsPerLeaf(), 2);
+    EXPECT_EQ(fc.numTerminals(), 4);
+    EXPECT_EQ(fc.leafOfTerminal(0), 0);
+    EXPECT_EQ(fc.leafOfTerminal(1), 0);
+    EXPECT_EQ(fc.leafOfTerminal(2), 1);
+    EXPECT_EQ(fc.leafOfTerminal(3), 1);
+}
+
+TEST(FoldedClos, LinkAccounting)
+{
+    auto fc = tiny();
+    EXPECT_EQ(fc.numWires(), 4);
+    EXPECT_EQ(fc.numNetworkPorts(), 8);
+    EXPECT_EQ(fc.links().size(), 4u);
+    EXPECT_EQ(fc.up(0).size(), 2u);
+    EXPECT_EQ(fc.down(2).size(), 4u);
+}
+
+TEST(FoldedClos, RemoveLinkOneInstance)
+{
+    auto fc = tiny();
+    EXPECT_TRUE(fc.removeLink(0, 2));
+    EXPECT_EQ(fc.numWires(), 3);
+    EXPECT_EQ(fc.up(0).size(), 1u);
+    // The parallel instance is still there.
+    EXPECT_TRUE(fc.removeLink(0, 2));
+    EXPECT_FALSE(fc.removeLink(0, 2));
+    EXPECT_EQ(fc.numWires(), 2);
+}
+
+TEST(FoldedClos, RadixRegularityPositiveAndNegative)
+{
+    auto fc = tiny();
+    EXPECT_TRUE(fc.isRadixRegular());
+    fc.removeLink(0, 2);
+    EXPECT_FALSE(fc.isRadixRegular());
+}
+
+TEST(FoldedClos, ValidateDetectsLevelViolations)
+{
+    FoldedClos fc({2, 2, 1}, 4, 2, "bad");
+    fc.addLink(0, 4);  // leaf directly to level 3: invalid
+    EXPECT_FALSE(fc.validate());
+}
+
+TEST(FoldedClos, ValidateAcceptsConsistentWiring)
+{
+    auto fc = tiny();
+    EXPECT_TRUE(fc.validate());
+}
+
+TEST(FoldedClos, ToGraphMirrorsLinks)
+{
+    auto fc = tiny();
+    Graph g = fc.toGraph();
+    EXPECT_EQ(g.numVertices(), 3);
+    EXPECT_EQ(g.numEdges(), 4u);  // parallel edges preserved
+    EXPECT_EQ(g.degree(2), 4);
+}
+
+TEST(FoldedClos, ConstructorRejectsBadShapes)
+{
+    EXPECT_THROW(FoldedClos({}, 4, 2, "x"), std::invalid_argument);
+    EXPECT_THROW(FoldedClos({0, 1}, 4, 2, "x"), std::invalid_argument);
+}
+
+TEST(FoldedClos, LevelOfOutOfRangeThrows)
+{
+    auto fc = tiny();
+    EXPECT_THROW(fc.levelOf(-1), std::out_of_range);
+}
+
+} // namespace
+} // namespace rfc

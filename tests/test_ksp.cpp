@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for Yen's k-shortest paths (the Jellyfish routing substrate).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/ksp.hpp"
+#include "graph/random_regular.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+namespace {
+
+Graph
+gridGraph(int w, int h)
+{
+    Graph g(w * h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int v = y * w + x;
+            if (x + 1 < w)
+                g.addEdge(v, v + 1);
+            if (y + 1 < h)
+                g.addEdge(v, v + w);
+        }
+    }
+    return g;
+}
+
+bool
+isValidPath(const Graph &g, const Path &p, int src, int dst)
+{
+    if (p.empty() || p.front() != src || p.back() != dst)
+        return false;
+    std::set<int> seen;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (!seen.insert(p[i]).second)
+            return false;  // loop
+        if (i + 1 < p.size() && !g.hasEdge(p[i], p[i + 1]))
+            return false;
+    }
+    return true;
+}
+
+TEST(Ksp, SingleShortestPathOnPathGraph)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    auto paths = kShortestPaths(g, 0, 3, 3);
+    ASSERT_EQ(paths.size(), 1u);  // only one loopless path exists
+    EXPECT_EQ(paths[0], (Path{0, 1, 2, 3}));
+}
+
+TEST(Ksp, CycleHasTwoPaths)
+{
+    Graph g(6);
+    for (int i = 0; i < 6; ++i)
+        g.addEdge(i, (i + 1) % 6);
+    auto paths = kShortestPaths(g, 0, 3, 5);
+    ASSERT_EQ(paths.size(), 2u);
+    EXPECT_EQ(paths[0].size(), 4u);  // length 3
+    EXPECT_EQ(paths[1].size(), 4u);  // the other way, also length 3
+}
+
+TEST(Ksp, GridPathsSortedByLength)
+{
+    Graph g = gridGraph(3, 3);
+    auto paths = kShortestPaths(g, 0, 8, 6);
+    ASSERT_GE(paths.size(), 6u);
+    for (std::size_t i = 0; i + 1 < paths.size(); ++i)
+        EXPECT_LE(paths[i].size(), paths[i + 1].size());
+    // Shortest path in a 3x3 grid corner-to-corner has 4 edges.
+    EXPECT_EQ(paths[0].size(), 5u);
+    // All six shortest monotone paths have length 4.
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(paths[i].size(), 5u);
+}
+
+TEST(Ksp, PathsAreValidAndDistinct)
+{
+    Rng rng(8);
+    Graph g = randomRegularGraph(24, 4, rng);
+    auto paths = kShortestPaths(g, 0, 12, 8);
+    ASSERT_FALSE(paths.empty());
+    std::set<Path> unique(paths.begin(), paths.end());
+    EXPECT_EQ(unique.size(), paths.size());
+    for (const auto &p : paths)
+        EXPECT_TRUE(isValidPath(g, p, 0, 12));
+}
+
+TEST(Ksp, UnreachableReturnsEmpty)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    EXPECT_TRUE(kShortestPaths(g, 0, 3, 4).empty());
+}
+
+TEST(Ksp, SourceEqualsDestination)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    EXPECT_TRUE(kShortestPaths(g, 0, 0, 3).empty());
+}
+
+TEST(Ksp, KZeroReturnsNothing)
+{
+    Graph g(2);
+    g.addEdge(0, 1);
+    EXPECT_TRUE(kShortestPaths(g, 0, 1, 0).empty());
+}
+
+} // namespace
+} // namespace rfc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Projective plane axiom tests: the combinatorics behind the OFT.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "clos/projective.hpp"
+
+namespace rfc {
+namespace {
+
+class ProjectivePlaneP : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ProjectivePlaneP, Counts)
+{
+    ProjectivePlane pg(GetParam());
+    const int q = pg.order();
+    EXPECT_EQ(pg.size(), q * q + q + 1);
+}
+
+TEST_P(ProjectivePlaneP, PointLineDegrees)
+{
+    ProjectivePlane pg(GetParam());
+    const int q = pg.order();
+    for (int p = 0; p < pg.size(); ++p)
+        EXPECT_EQ(pg.linesThroughPoint(p).size(),
+                  static_cast<std::size_t>(q + 1));
+    for (int l = 0; l < pg.size(); ++l)
+        EXPECT_EQ(pg.pointsOnLine(l).size(),
+                  static_cast<std::size_t>(q + 1));
+}
+
+TEST_P(ProjectivePlaneP, TwoPointsShareExactlyOneLine)
+{
+    ProjectivePlane pg(GetParam());
+    for (int a = 0; a < pg.size(); ++a) {
+        for (int b = a + 1; b < pg.size(); ++b) {
+            const auto &la = pg.linesThroughPoint(a);
+            const auto &lb = pg.linesThroughPoint(b);
+            std::set<int> sa(la.begin(), la.end());
+            int common = 0;
+            for (int l : lb)
+                common += sa.count(l);
+            EXPECT_EQ(common, 1) << "points " << a << "," << b;
+        }
+    }
+}
+
+TEST_P(ProjectivePlaneP, TwoLinesMeetInExactlyOnePoint)
+{
+    ProjectivePlane pg(GetParam());
+    for (int a = 0; a < pg.size(); ++a) {
+        for (int b = a + 1; b < pg.size(); ++b) {
+            const auto &pa = pg.pointsOnLine(a);
+            const auto &pb = pg.pointsOnLine(b);
+            std::set<int> sa(pa.begin(), pa.end());
+            int common = 0;
+            for (int p : pb)
+                common += sa.count(p);
+            EXPECT_EQ(common, 1) << "lines " << a << "," << b;
+        }
+    }
+}
+
+TEST_P(ProjectivePlaneP, IncidenceConsistency)
+{
+    ProjectivePlane pg(GetParam());
+    for (int p = 0; p < pg.size(); ++p)
+        for (int l : pg.linesThroughPoint(p))
+            EXPECT_TRUE(pg.incident(p, l));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ProjectivePlaneP,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9));
+
+TEST(ProjectivePlane, FanoPlane)
+{
+    // q=2: the Fano plane, 7 points, 7 lines of 3 points each.
+    ProjectivePlane pg(2);
+    EXPECT_EQ(pg.size(), 7);
+    long long incidences = 0;
+    for (int l = 0; l < 7; ++l)
+        incidences += static_cast<long long>(pg.pointsOnLine(l).size());
+    EXPECT_EQ(incidences, 21);
+}
+
+} // namespace
+} // namespace rfc

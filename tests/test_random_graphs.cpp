@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Property tests for the random graph generators (paper Listings 1-2).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "graph/algorithms.hpp"
+#include "graph/random_bipartite.hpp"
+#include "graph/random_regular.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+namespace {
+
+class RandomRegularP
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(RandomRegularP, IsSimpleAndRegular)
+{
+    auto [n, d] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) * 1000 + d);
+    Graph g = randomRegularGraph(n, d, rng);
+    EXPECT_EQ(g.numVertices(), n);
+    EXPECT_TRUE(g.isRegular(d));
+    EXPECT_EQ(g.numEdges(), static_cast<std::size_t>(n) * d / 2);
+    // Simple: no self loops or duplicate edges.
+    for (int u = 0; u < n; ++u) {
+        std::set<int> s;
+        for (int v : g.neighbors(u)) {
+            EXPECT_NE(v, u);
+            EXPECT_TRUE(s.insert(v).second);
+        }
+    }
+}
+
+TEST_P(RandomRegularP, ConnectedWhenDegreeAtLeastThree)
+{
+    auto [n, d] = GetParam();
+    if (d < 3)
+        GTEST_SKIP() << "connectivity only holds w.h.p. for d >= 3";
+    Rng rng(42 + n + d);
+    Graph g = randomRegularGraph(n, d, rng);
+    EXPECT_TRUE(isConnected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomRegularP,
+    ::testing::Values(std::tuple{4, 3}, std::tuple{10, 3},
+                      std::tuple{16, 4}, std::tuple{20, 2},
+                      std::tuple{25, 4}, std::tuple{40, 6},
+                      std::tuple{64, 8}, std::tuple{100, 3},
+                      std::tuple{128, 10}, std::tuple{200, 5}));
+
+TEST(RandomRegular, RejectsOddDegreeSum)
+{
+    Rng rng(1);
+    EXPECT_THROW(randomRegularGraph(5, 3, rng), std::invalid_argument);
+}
+
+TEST(RandomRegular, RejectsDegreeTooLarge)
+{
+    Rng rng(1);
+    EXPECT_THROW(randomRegularGraph(4, 4, rng), std::invalid_argument);
+}
+
+TEST(RandomRegular, CompleteGraphCase)
+{
+    // d = n-1 forces the complete graph; the generator must find it.
+    Rng rng(2);
+    Graph g = randomRegularGraph(6, 5, rng);
+    EXPECT_TRUE(g.isRegular(5));
+    for (int u = 0; u < 6; ++u)
+        for (int v = u + 1; v < 6; ++v)
+            EXPECT_TRUE(g.hasEdge(u, v));
+}
+
+TEST(RandomRegular, DeterministicBySeed)
+{
+    Rng a(99), b(99);
+    Graph g1 = randomRegularGraph(30, 4, a);
+    Graph g2 = randomRegularGraph(30, 4, b);
+    for (int u = 0; u < 30; ++u)
+        EXPECT_EQ(g1.neighbors(u), g2.neighbors(u));
+}
+
+TEST(RandomRegular, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    Graph g1 = randomRegularGraph(30, 4, a);
+    Graph g2 = randomRegularGraph(30, 4, b);
+    bool differ = false;
+    for (int u = 0; u < 30 && !differ; ++u)
+        differ = g1.neighbors(u) != g2.neighbors(u);
+    EXPECT_TRUE(differ);
+}
+
+class RandomBipartiteP
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{};
+
+TEST_P(RandomBipartiteP, IsSimpleAndBiregular)
+{
+    auto [n1, d1, n2, d2] = GetParam();
+    Rng rng(7 + n1 + d1 + n2 + d2);
+    BipartiteGraph bg = randomBipartiteGraph(n1, d1, n2, d2, rng);
+    EXPECT_TRUE(bg.isBiregular(d1, d2));
+    EXPECT_TRUE(bg.isSimple());
+    // Mirror consistency.
+    long long e1 = 0, e2 = 0;
+    for (const auto &a : bg.adj1)
+        e1 += static_cast<long long>(a.size());
+    for (const auto &a : bg.adj2)
+        e2 += static_cast<long long>(a.size());
+    EXPECT_EQ(e1, e2);
+    EXPECT_EQ(e1, static_cast<long long>(n1) * d1);
+    for (int u = 0; u < n1; ++u)
+        for (int v : bg.adj1[u]) {
+            auto &back = bg.adj2[v];
+            EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomBipartiteP,
+    ::testing::Values(std::tuple{4, 2, 4, 2}, std::tuple{8, 3, 12, 2},
+                      std::tuple{16, 4, 16, 4}, std::tuple{16, 8, 8, 16},
+                      std::tuple{20, 3, 30, 2}, std::tuple{64, 6, 64, 6},
+                      std::tuple{100, 4, 50, 8},
+                      std::tuple{6, 6, 36, 1}));
+
+TEST(RandomBipartite, RejectsImbalance)
+{
+    Rng rng(1);
+    EXPECT_THROW(randomBipartiteGraph(4, 3, 5, 2, rng),
+                 std::invalid_argument);
+}
+
+TEST(RandomBipartite, RejectsDegreeOverflow)
+{
+    Rng rng(1);
+    // d1 > n2: a simple graph cannot exist.
+    EXPECT_THROW(randomBipartiteGraph(2, 6, 4, 3, rng),
+                 std::invalid_argument);
+}
+
+TEST(RandomBipartite, CompleteBipartiteCase)
+{
+    Rng rng(3);
+    // d1 = n2 forces K_{3,3}.
+    BipartiteGraph bg = randomBipartiteGraph(3, 3, 3, 3, rng);
+    for (int u = 0; u < 3; ++u)
+        EXPECT_EQ(bg.adj1[u].size(), 3u);
+}
+
+TEST(RandomBipartite, DeterministicBySeed)
+{
+    Rng a(5), b(5);
+    auto g1 = randomBipartiteGraph(20, 4, 20, 4, a);
+    auto g2 = randomBipartiteGraph(20, 4, 20, 4, b);
+    EXPECT_EQ(g1.adj1, g2.adj1);
+}
+
+} // namespace
+} // namespace rfc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for topology save/load and DOT export.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "clos/fat_tree.hpp"
+#include "clos/oft.hpp"
+#include "clos/rfc.hpp"
+#include "clos/serialize.hpp"
+#include "routing/updown.hpp"
+
+namespace rfc {
+namespace {
+
+void
+expectSameTopology(const FoldedClos &a, const FoldedClos &b)
+{
+    ASSERT_EQ(a.levels(), b.levels());
+    ASSERT_EQ(a.numSwitches(), b.numSwitches());
+    EXPECT_EQ(a.radix(), b.radix());
+    EXPECT_EQ(a.terminalsPerLeaf(), b.terminalsPerLeaf());
+    EXPECT_EQ(a.name(), b.name());
+    for (int s = 0; s < a.numSwitches(); ++s) {
+        auto ua = a.up(s);
+        auto ub = b.up(s);
+        std::sort(ua.begin(), ua.end());
+        std::sort(ub.begin(), ub.end());
+        EXPECT_EQ(ua, ub) << "switch " << s;
+    }
+}
+
+TEST(Serialize, RoundTripCft)
+{
+    auto fc = buildCft(8, 3);
+    std::stringstream ss;
+    saveTopology(fc, ss);
+    auto back = loadTopology(ss);
+    expectSameTopology(fc, back);
+}
+
+TEST(Serialize, RoundTripRfc)
+{
+    Rng rng(5);
+    auto fc = buildRfcUnchecked(12, 3, 40, rng);
+    std::stringstream ss;
+    saveTopology(fc, ss);
+    auto back = loadTopology(ss);
+    expectSameTopology(fc, back);
+    // A loaded random topology routes identically.
+    UpDownOracle a(fc), b(back);
+    EXPECT_EQ(a.routable(), b.routable());
+}
+
+TEST(Serialize, RoundTripOft)
+{
+    auto fc = buildOft(3, 2);
+    std::stringstream ss;
+    saveTopology(fc, ss);
+    expectSameTopology(fc, loadTopology(ss));
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored)
+{
+    auto fc = buildCft(4, 2);
+    std::stringstream ss;
+    saveTopology(fc, ss);
+    std::string text = "# header comment\n\n" + ss.str();
+    std::stringstream annotated(text);
+    expectSameTopology(fc, loadTopology(annotated));
+}
+
+TEST(Serialize, RejectsBadVersion)
+{
+    std::stringstream ss("rfc-topology 99\n");
+    EXPECT_THROW(loadTopology(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedInput)
+{
+    auto fc = buildCft(4, 2);
+    std::stringstream ss;
+    saveTopology(fc, ss);
+    std::string text = ss.str();
+    std::stringstream cut(text.substr(0, text.size() / 2));
+    EXPECT_THROW(loadTopology(cut), std::runtime_error);
+}
+
+TEST(Serialize, RejectsOutOfRangeLink)
+{
+    std::stringstream ss(
+        "rfc-topology 1\nname x\nradix 4\nterminals-per-leaf 2\n"
+        "levels 2 2 1\nlinks 1\n0 99\nend\n");
+    EXPECT_THROW(loadTopology(ss), std::runtime_error);
+}
+
+TEST(Serialize, DotOutputContainsAllSwitches)
+{
+    auto fc = buildCft(4, 2);
+    std::stringstream ss;
+    writeDot(fc, ss);
+    std::string dot = ss.str();
+    EXPECT_NE(dot.find("graph"), std::string::npos);
+    for (int s = 0; s < fc.numSwitches(); ++s)
+        EXPECT_NE(dot.find("s" + std::to_string(s) + " ["),
+                  std::string::npos);
+    // One edge line per wire.
+    std::size_t count = 0, pos = 0;
+    while ((pos = dot.find(" -- ", pos)) != std::string::npos) {
+        ++count;
+        pos += 4;
+    }
+    EXPECT_EQ(count, static_cast<std::size_t>(fc.numWires()));
+}
+
+} // namespace
+} // namespace rfc

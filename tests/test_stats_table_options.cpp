@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for RunningStat, TablePrinter and Options.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rfc {
+namespace {
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMeanAndVariance)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, Ci95ShrinksWithSamples)
+{
+    RunningStat small, large;
+    for (int i = 0; i < 10; ++i)
+        small.add(i % 2);
+    for (int i = 0; i < 1000; ++i)
+        large.add(i % 2);
+    EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(TablePrinter, AlignedOutputContainsCells)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, Formatters)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::fmtInt(1234567), "1,234,567");
+    EXPECT_EQ(TablePrinter::fmtInt(-42), "-42");
+    EXPECT_EQ(TablePrinter::fmtInt(999), "999");
+    EXPECT_EQ(TablePrinter::fmtPct(0.456, 1), "45.6%");
+}
+
+TEST(Options, ParsesEqualsForm)
+{
+    const char *argv[] = {"prog", "--radix=36", "--load=0.5"};
+    Options o(3, argv);
+    EXPECT_EQ(o.getInt("radix", 0), 36);
+    EXPECT_DOUBLE_EQ(o.getDouble("load", 0.0), 0.5);
+}
+
+TEST(Options, ParsesSpaceForm)
+{
+    const char *argv[] = {"prog", "--levels", "4"};
+    Options o(3, argv);
+    EXPECT_EQ(o.getInt("levels", 0), 4);
+}
+
+TEST(Options, BareFlag)
+{
+    const char *argv[] = {"prog", "--fast"};
+    Options o(2, argv);
+    EXPECT_TRUE(o.has("fast"));
+    EXPECT_TRUE(o.getBool("fast", false));
+    EXPECT_FALSE(o.getBool("slow", false));
+}
+
+TEST(Options, Defaults)
+{
+    const char *argv[] = {"prog"};
+    Options o(1, argv);
+    EXPECT_EQ(o.getInt("x", 7), 7);
+    EXPECT_EQ(o.get("s", "dflt"), "dflt");
+    EXPECT_TRUE(o.getBool("b", true));
+}
+
+TEST(Options, BooleanValues)
+{
+    const char *argv[] = {"prog", "--a=0", "--b=true", "--c=false"};
+    Options o(4, argv);
+    EXPECT_FALSE(o.getBool("a", true));
+    EXPECT_TRUE(o.getBool("b", false));
+    EXPECT_FALSE(o.getBool("c", true));
+}
+
+TEST(Options, RejectsPositionalArguments)
+{
+    const char *argv[] = {"prog", "junk"};
+    EXPECT_THROW(Options(2, argv), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rfc
