@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adversarial.dir/ext_adversarial.cpp.o"
+  "CMakeFiles/ext_adversarial.dir/ext_adversarial.cpp.o.d"
+  "ext_adversarial"
+  "ext_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

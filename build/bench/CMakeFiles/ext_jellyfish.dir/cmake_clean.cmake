@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_jellyfish.dir/ext_jellyfish.cpp.o"
+  "CMakeFiles/ext_jellyfish.dir/ext_jellyfish.cpp.o.d"
+  "ext_jellyfish"
+  "ext_jellyfish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_jellyfish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_diameter.dir/fig05_diameter.cpp.o"
+  "CMakeFiles/fig05_diameter.dir/fig05_diameter.cpp.o.d"
+  "fig05_diameter"
+  "fig05_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_scalability.dir/fig06_scalability.cpp.o"
+  "CMakeFiles/fig06_scalability.dir/fig06_scalability.cpp.o.d"
+  "fig06_scalability"
+  "fig06_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

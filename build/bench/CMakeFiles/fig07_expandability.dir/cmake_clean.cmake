@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_expandability.dir/fig07_expandability.cpp.o"
+  "CMakeFiles/fig07_expandability.dir/fig07_expandability.cpp.o.d"
+  "fig07_expandability"
+  "fig07_expandability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_expandability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_perf_11k.dir/fig08_perf_11k.cpp.o"
+  "CMakeFiles/fig08_perf_11k.dir/fig08_perf_11k.cpp.o.d"
+  "fig08_perf_11k"
+  "fig08_perf_11k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_perf_11k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

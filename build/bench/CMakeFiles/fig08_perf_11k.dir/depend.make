@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_perf_11k.
+# This may be replaced when dependencies are built.

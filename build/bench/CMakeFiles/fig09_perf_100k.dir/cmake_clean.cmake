@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_perf_100k.dir/fig09_perf_100k.cpp.o"
+  "CMakeFiles/fig09_perf_100k.dir/fig09_perf_100k.cpp.o.d"
+  "fig09_perf_100k"
+  "fig09_perf_100k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_perf_100k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_perf_200k.dir/fig10_perf_200k.cpp.o"
+  "CMakeFiles/fig10_perf_200k.dir/fig10_perf_200k.cpp.o.d"
+  "fig10_perf_200k"
+  "fig10_perf_200k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_perf_200k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

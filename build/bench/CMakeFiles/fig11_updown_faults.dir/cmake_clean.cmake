@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_updown_faults.dir/fig11_updown_faults.cpp.o"
+  "CMakeFiles/fig11_updown_faults.dir/fig11_updown_faults.cpp.o.d"
+  "fig11_updown_faults"
+  "fig11_updown_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_updown_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_perf_faults.dir/fig12_perf_faults.cpp.o"
+  "CMakeFiles/fig12_perf_faults.dir/fig12_perf_faults.cpp.o.d"
+  "fig12_perf_faults"
+  "fig12_perf_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_perf_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_section5_cost.dir/tab_section5_cost.cpp.o"
+  "CMakeFiles/tab_section5_cost.dir/tab_section5_cost.cpp.o.d"
+  "tab_section5_cost"
+  "tab_section5_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_section5_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

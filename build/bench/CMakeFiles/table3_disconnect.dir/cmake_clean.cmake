@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_disconnect.dir/table3_disconnect.cpp.o"
+  "CMakeFiles/table3_disconnect.dir/table3_disconnect.cpp.o.d"
+  "table3_disconnect"
+  "table3_disconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_disconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm42_threshold.dir/thm42_threshold.cpp.o"
+  "CMakeFiles/thm42_threshold.dir/thm42_threshold.cpp.o.d"
+  "thm42_threshold"
+  "thm42_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm42_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expansion_planner.dir/expansion_planner.cpp.o"
+  "CMakeFiles/expansion_planner.dir/expansion_planner.cpp.o.d"
+  "expansion_planner"
+  "expansion_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expansion_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

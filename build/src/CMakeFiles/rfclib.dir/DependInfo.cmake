@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cost.cpp" "src/CMakeFiles/rfclib.dir/analysis/cost.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/analysis/cost.cpp.o.d"
+  "/root/repo/src/analysis/resiliency.cpp" "src/CMakeFiles/rfclib.dir/analysis/resiliency.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/analysis/resiliency.cpp.o.d"
+  "/root/repo/src/analysis/scalability.cpp" "src/CMakeFiles/rfclib.dir/analysis/scalability.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/analysis/scalability.cpp.o.d"
+  "/root/repo/src/clos/expansion.cpp" "src/CMakeFiles/rfclib.dir/clos/expansion.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/clos/expansion.cpp.o.d"
+  "/root/repo/src/clos/fat_tree.cpp" "src/CMakeFiles/rfclib.dir/clos/fat_tree.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/clos/fat_tree.cpp.o.d"
+  "/root/repo/src/clos/faults.cpp" "src/CMakeFiles/rfclib.dir/clos/faults.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/clos/faults.cpp.o.d"
+  "/root/repo/src/clos/folded_clos.cpp" "src/CMakeFiles/rfclib.dir/clos/folded_clos.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/clos/folded_clos.cpp.o.d"
+  "/root/repo/src/clos/galois.cpp" "src/CMakeFiles/rfclib.dir/clos/galois.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/clos/galois.cpp.o.d"
+  "/root/repo/src/clos/oft.cpp" "src/CMakeFiles/rfclib.dir/clos/oft.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/clos/oft.cpp.o.d"
+  "/root/repo/src/clos/projective.cpp" "src/CMakeFiles/rfclib.dir/clos/projective.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/clos/projective.cpp.o.d"
+  "/root/repo/src/clos/rfc.cpp" "src/CMakeFiles/rfclib.dir/clos/rfc.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/clos/rfc.cpp.o.d"
+  "/root/repo/src/clos/serialize.cpp" "src/CMakeFiles/rfclib.dir/clos/serialize.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/clos/serialize.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/rfclib.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/bisection.cpp" "src/CMakeFiles/rfclib.dir/graph/bisection.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/graph/bisection.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/rfclib.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/ksp.cpp" "src/CMakeFiles/rfclib.dir/graph/ksp.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/graph/ksp.cpp.o.d"
+  "/root/repo/src/graph/random_bipartite.cpp" "src/CMakeFiles/rfclib.dir/graph/random_bipartite.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/graph/random_bipartite.cpp.o.d"
+  "/root/repo/src/graph/random_regular.cpp" "src/CMakeFiles/rfclib.dir/graph/random_regular.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/graph/random_regular.cpp.o.d"
+  "/root/repo/src/graph/spectral.cpp" "src/CMakeFiles/rfclib.dir/graph/spectral.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/graph/spectral.cpp.o.d"
+  "/root/repo/src/routing/ksp_tables.cpp" "src/CMakeFiles/rfclib.dir/routing/ksp_tables.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/routing/ksp_tables.cpp.o.d"
+  "/root/repo/src/routing/tables.cpp" "src/CMakeFiles/rfclib.dir/routing/tables.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/routing/tables.cpp.o.d"
+  "/root/repo/src/routing/updown.cpp" "src/CMakeFiles/rfclib.dir/routing/updown.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/routing/updown.cpp.o.d"
+  "/root/repo/src/sim/direct.cpp" "src/CMakeFiles/rfclib.dir/sim/direct.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/sim/direct.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/rfclib.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/rfclib.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/sim/sweep.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/CMakeFiles/rfclib.dir/sim/traffic.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/sim/traffic.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/rfclib.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rfclib.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/rfclib.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/rfclib.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/rfclib.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

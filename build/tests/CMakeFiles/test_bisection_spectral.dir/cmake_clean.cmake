@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bisection_spectral.dir/test_bisection_spectral.cpp.o"
+  "CMakeFiles/test_bisection_spectral.dir/test_bisection_spectral.cpp.o.d"
+  "test_bisection_spectral"
+  "test_bisection_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bisection_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

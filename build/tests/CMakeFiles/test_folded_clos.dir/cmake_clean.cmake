@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_folded_clos.dir/test_folded_clos.cpp.o"
+  "CMakeFiles/test_folded_clos.dir/test_folded_clos.cpp.o.d"
+  "test_folded_clos"
+  "test_folded_clos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_folded_clos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

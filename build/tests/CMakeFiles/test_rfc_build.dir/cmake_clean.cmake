@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfc_build.dir/test_rfc_build.cpp.o"
+  "CMakeFiles/test_rfc_build.dir/test_rfc_build.cpp.o.d"
+  "test_rfc_build"
+  "test_rfc_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfc_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_table_options.dir/test_stats_table_options.cpp.o"
+  "CMakeFiles/test_stats_table_options.dir/test_stats_table_options.cpp.o.d"
+  "test_stats_table_options"
+  "test_stats_table_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_table_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
