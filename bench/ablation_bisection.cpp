@@ -6,6 +6,10 @@
  * random regular networks and RFC instances, prints the normalized
  * bisection values the paper quotes (RRN ~0.88, 2-level RFC ~0.80,
  * 3-level RFC ~0.86), and certifies expansion through the spectral gap.
+ *
+ * Each table row (instance build + empirical cut + spectral gap) is an
+ * independent trial and runs as an engine map with a derived per-row
+ * seed (--jobs threads, deterministic at any job count).
  */
 #include <iostream>
 
@@ -24,9 +28,10 @@ main(int argc, char **argv)
     Options opts(argc, argv);
     banner(opts, "Ablation: bisection bounds vs empirical cuts");
     const bool full = opts.fullScale();
-    Rng rng(opts.getInt("seed", 17));
     const int restarts = static_cast<int>(
         opts.getInt("restarts", full ? 20 : 6));
+
+    ExperimentEngine engine(opts.jobs(), opts.getInt("seed", 17));
 
     // Paper's quoted normalized bisections at R=36.
     TablePrinter q({"configuration", "paper", "model"});
@@ -40,43 +45,79 @@ main(int argc, char **argv)
     emit(opts, "normalized bisection (Sec 4.2)", q);
 
     // Bound vs empirical cut on random regular graphs.
+    const std::vector<std::pair<int, int>> rrg_cases{
+        {64, 6}, {128, 8}, {256, 10}};
+    struct RrgRow
+    {
+        long long edges = 0;
+        double bound = 0.0, cut = 0.0, l2 = 0.0;
+    };
+    auto rrg_rows = engine.map<RrgRow>(
+        /*stream=*/0, rrg_cases.size(),
+        [&](std::size_t i, std::uint64_t seed) {
+            auto [n, d] = rrg_cases[i];
+            Rng row_rng(seed);
+            Graph g = randomRegularGraph(n, d, row_rng);
+            RrgRow row;
+            row.edges = static_cast<long long>(g.numEdges());
+            row.bound = bollobasBisectionRrn(n, d);
+            row.cut = empiricalBisection(g, restarts, row_rng);
+            row.l2 = std::abs(secondEigenvalue(g, 400, row_rng));
+            return row;
+        });
+
     TablePrinter t({"graph", "edges", "Bollobas bound", "empirical cut",
                     "ratio", "|lambda2|", "expansion bound"});
-    for (auto [n, d] : std::vector<std::pair<int, int>>{
-             {64, 6}, {128, 8}, {256, 10}}) {
-        Graph g = randomRegularGraph(n, d, rng);
-        double bound = bollobasBisectionRrn(n, d);
-        auto cut = empiricalBisection(g, restarts, rng);
-        double l2 = std::abs(secondEigenvalue(g, 400, rng));
+    for (std::size_t i = 0; i < rrg_cases.size(); ++i) {
+        auto [n, d] = rrg_cases[i];
+        const auto &row = rrg_rows[i];
         t.addRow({"RRG(" + std::to_string(n) + "," + std::to_string(d) +
                       ")",
+                  TablePrinter::fmtInt(row.edges),
+                  TablePrinter::fmt(row.bound, 1),
                   TablePrinter::fmtInt(
-                      static_cast<long long>(g.numEdges())),
-                  TablePrinter::fmt(bound, 1),
-                  TablePrinter::fmtInt(static_cast<long long>(cut)),
-                  TablePrinter::fmt(cut / bound, 2),
-                  TablePrinter::fmt(l2, 2),
-                  TablePrinter::fmt(spectralExpansionBound(d, l2), 2)});
+                      static_cast<long long>(row.cut)),
+                  TablePrinter::fmt(row.cut / row.bound, 2),
+                  TablePrinter::fmt(row.l2, 2),
+                  TablePrinter::fmt(spectralExpansionBound(d, row.l2),
+                                    2)});
     }
     emit(opts, "random regular graphs", t);
 
     // The same on RFC switch graphs (lower bound via the multigraph
     // contraction of Sec 4.2 is per-construction; empirical cut shown).
+    const std::vector<std::pair<int, int>> rfc_cases{
+        {12, 2}, {8, 3}, {12, 3}};
+    struct RfcRow
+    {
+        std::string name;
+        long long wires = 0;
+        double cut = 0.0, norm = 0.0;
+    };
+    auto rfc_rows = engine.map<RfcRow>(
+        /*stream=*/1, rfc_cases.size(),
+        [&](std::size_t i, std::uint64_t seed) {
+            auto [radix, levels] = rfc_cases[i];
+            Rng row_rng(seed);
+            int n1 = std::max(rfcMaxLeaves(radix, levels), radix);
+            auto built = buildRfc(radix, levels, n1, row_rng);
+            Graph g = built.topology.toGraph();
+            RfcRow row;
+            row.name = built.topology.name();
+            row.wires = built.topology.numWires();
+            row.cut = empiricalBisection(g, restarts, row_rng);
+            row.norm = row.cut /
+                       (built.topology.numTerminals() / 2.0) /
+                       (levels - 1);
+            return row;
+        });
+
     TablePrinter r({"instance", "wires", "empirical cut",
                     "cut / (T/2) / (l-1)"});
-    for (auto [radix, levels] : std::vector<std::pair<int, int>>{
-             {12, 2}, {8, 3}, {12, 3}}) {
-        int n1 = std::max(rfcMaxLeaves(radix, levels), radix);
-        auto built = buildRfc(radix, levels, n1, rng);
-        Graph g = built.topology.toGraph();
-        auto cut = empiricalBisection(g, restarts, rng);
-        double norm = static_cast<double>(cut) /
-                      (built.topology.numTerminals() / 2.0) /
-                      (levels - 1);
-        r.addRow({built.topology.name(),
-                  TablePrinter::fmtInt(built.topology.numWires()),
-                  TablePrinter::fmtInt(static_cast<long long>(cut)),
-                  TablePrinter::fmt(norm, 2)});
+    for (const auto &row : rfc_rows) {
+        r.addRow({row.name, TablePrinter::fmtInt(row.wires),
+                  TablePrinter::fmtInt(static_cast<long long>(row.cut)),
+                  TablePrinter::fmt(row.norm, 2)});
     }
     emit(opts, "RFC instances (empirical normalized bisection)", r);
     std::cout << "note: the empirical cut balances *switches*, not "

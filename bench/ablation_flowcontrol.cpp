@@ -7,6 +7,9 @@
  * equal-resources CFT/RFC pair.  The paper uses 4 VCs "to reduce
  * head-of-line blocking"; this bench quantifies that choice and shows
  * the CFT-vs-RFC ranking is robust to it.
+ *
+ * The (vcs, buf) x network grid is declared as engine trial specs with
+ * per-point SimConfig overrides and runs in parallel (--jobs).
  */
 #include <iostream>
 
@@ -35,41 +38,74 @@ main(int argc, char **argv)
     base.warmup = opts.getInt("warmup", full ? 2000 : 500);
     base.measure = opts.getInt("measure", full ? 6000 : 1500);
     base.seed = opts.getInt("seed", 21);
+    base.load = 1.0;  // saturation everywhere in this ablation
 
-    TablePrinter t({"vcs", "buf", "thr(CFT)", "lat(CFT)", "thr(RFC)",
-                    "lat(RFC)"});
-    for (int vcs : {1, 2, 4, 8}) {
-        for (int buf : {2, 4, 8}) {
+    ExperimentEngine engine(opts.jobs(), base.seed);
+
+    const std::vector<int> vc_axis{1, 2, 4, 8};
+    const std::vector<int> buf_axis{2, 4, 8};
+
+    // Grid 1: (vcs x buf x network) under uniform traffic.
+    std::vector<TrialSpec> specs;
+    for (int vcs : vc_axis) {
+        for (int buf : buf_axis) {
             SimConfig cfg = base;
             cfg.vcs = vcs;
             cfg.buf_packets = buf;
-            UniformTraffic t1, t2;
-            auto r1 = saturationThroughput(cft, o_cft, t1, cfg, 1);
-            auto r2 = saturationThroughput(built.topology, o_rfc, t2,
-                                           cfg, 1);
+            TrialSpec cft_spec{&cft, &o_cft, namedTraffic("uniform"),
+                               cfg,
+                               "CFT/vcs=" + std::to_string(vcs) +
+                                   "/buf=" + std::to_string(buf)};
+            TrialSpec rfc_spec{&built.topology, &o_rfc,
+                               namedTraffic("uniform"), cfg,
+                               "RFC/vcs=" + std::to_string(vcs) +
+                                   "/buf=" + std::to_string(buf)};
+            specs.push_back(std::move(cft_spec));
+            specs.push_back(std::move(rfc_spec));
+        }
+    }
+    auto points = engine.runPoints(specs, 1);
+
+    TablePrinter t({"vcs", "buf", "thr(CFT)", "lat(CFT)", "thr(RFC)",
+                    "lat(RFC)"});
+    std::size_t p = 0;
+    for (int vcs : vc_axis) {
+        for (int buf : buf_axis) {
+            const auto &r1 = points[p++];
+            const auto &r2 = points[p++];
             t.addRow({std::to_string(vcs), std::to_string(buf),
-                      TablePrinter::fmt(r1.accepted, 3),
-                      TablePrinter::fmt(r1.avg_latency, 1),
-                      TablePrinter::fmt(r2.accepted, 3),
-                      TablePrinter::fmt(r2.avg_latency, 1)});
+                      TablePrinter::fmt(r1.accepted.mean, 3),
+                      TablePrinter::fmt(r1.avg_latency.mean, 1),
+                      TablePrinter::fmt(r2.accepted.mean, 3),
+                      TablePrinter::fmt(r2.avg_latency.mean, 1)});
         }
     }
     emit(opts, "uniform traffic at saturation (offered 1.0)", t);
 
-    // Pairing is the pattern most sensitive to HoL blocking.
-    TablePrinter p({"vcs", "thr(CFT)", "thr(RFC)", "RFC/CFT"});
-    for (int vcs : {1, 2, 4, 8}) {
+    // Grid 2: pairing is the pattern most sensitive to HoL blocking.
+    std::vector<TrialSpec> pairing;
+    for (int vcs : vc_axis) {
         SimConfig cfg = base;
         cfg.vcs = vcs;
-        RandomPairingTraffic t1, t2;
-        auto r1 = saturationThroughput(cft, o_cft, t1, cfg, 1);
-        auto r2 =
-            saturationThroughput(built.topology, o_rfc, t2, cfg, 1);
-        p.addRow({std::to_string(vcs),
-                  TablePrinter::fmt(r1.accepted, 3),
-                  TablePrinter::fmt(r2.accepted, 3),
-                  TablePrinter::fmtPct(r2.accepted / r1.accepted, 1)});
+        pairing.push_back({&cft, &o_cft, namedTraffic("random-pairing"),
+                           cfg, "CFT/vcs=" + std::to_string(vcs)});
+        pairing.push_back({&built.topology, &o_rfc,
+                           namedTraffic("random-pairing"), cfg,
+                           "RFC/vcs=" + std::to_string(vcs)});
     }
-    emit(opts, "random-pairing at saturation vs VC count", p);
+    auto pair_points = engine.runPoints(pairing, 1);
+
+    TablePrinter pt({"vcs", "thr(CFT)", "thr(RFC)", "RFC/CFT"});
+    p = 0;
+    for (int vcs : vc_axis) {
+        const auto &r1 = pair_points[p++];
+        const auto &r2 = pair_points[p++];
+        pt.addRow({std::to_string(vcs),
+                   TablePrinter::fmt(r1.accepted.mean, 3),
+                   TablePrinter::fmt(r2.accepted.mean, 3),
+                   TablePrinter::fmtPct(
+                       r2.accepted.mean / r1.accepted.mean, 1)});
+    }
+    emit(opts, "random-pairing at saturation vs VC count", pt);
     return 0;
 }

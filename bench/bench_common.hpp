@@ -6,7 +6,22 @@
  * default the experiments run at a sandbox-friendly scale; pass
  * --full (or set RFC_FULL=1) to run the paper-scale configuration.
  * All binaries accept --seed, --trials, and simulation-size overrides
- * where meaningful, and print CSV with --csv.
+ * where meaningful.
+ *
+ * Output and execution flags (handled here / by util/options):
+ *   --csv      print tables as CSV instead of aligned columns
+ *   --json     print structured JSON; simulation grids additionally
+ *              carry per-point mean/stddev/ci95 and per-trial
+ *              wall-clock timing (bench runs double as perf telemetry)
+ *   --jobs N   worker threads for the experiment engine (default:
+ *              hardware concurrency, env RFC_JOBS).  Results are
+ *              bit-identical for any N: seeds derive from
+ *              {base seed, grid point, rep}, never from thread order.
+ *
+ * Simulation benches declare their trial grids (networks x traffic
+ * patterns x offered loads x reps) and hand them to ExperimentEngine
+ * rather than looping; see runPerfScenario below for the Figures 8-10
+ * shape.
  */
 #ifndef RFC_BENCH_COMMON_HPP
 #define RFC_BENCH_COMMON_HPP
@@ -16,6 +31,7 @@
 #include <vector>
 
 #include "clos/folded_clos.hpp"
+#include "exp/experiment.hpp"
 #include "routing/updown.hpp"
 #include "sim/sweep.hpp"
 #include "sim/traffic.hpp"
@@ -24,12 +40,14 @@
 
 namespace rfc {
 
-/** Print a table (aligned or CSV per --csv) with a heading. */
+/** Print a table (aligned, CSV or JSON per flags) with a heading. */
 inline void
 emit(const Options &opts, const std::string &heading, TablePrinter &table)
 {
     std::cout << "### " << heading << "\n";
-    if (opts.getBool("csv", false))
+    if (opts.getBool("json", false))
+        table.printJson(std::cout);
+    else if (opts.getBool("csv", false))
         table.printCsv(std::cout);
     else
         table.print(std::cout);
@@ -55,10 +73,25 @@ struct PerfNetwork
     const UpDownOracle *oracle;
 };
 
+/** Engine telemetry on stderr (stdout stays bit-stable across runs). */
+inline void
+reportEngine(const GridResult &result, std::size_t n_points, int reps)
+{
+    double cpu = 0.0;
+    for (const auto &p : result.points)
+        cpu += p.trial_seconds_total;
+    std::cerr << "[engine] " << n_points * static_cast<std::size_t>(reps)
+              << " trials on " << result.jobs << " job(s): "
+              << result.wall_seconds << " s wall, " << cpu
+              << " s simulated-trial cpu\n";
+}
+
 /**
- * Run the Figures 8-10 experiment shape: for each traffic pattern,
- * sweep offered load over every network and print accepted load and
- * average latency side by side.
+ * Run the Figures 8-10 experiment shape: declare the grid
+ * networks x traffic patterns x offered loads, run it on the engine
+ * (--jobs threads), and print accepted load and average latency side
+ * by side per traffic pattern.  With --json, the full per-point
+ * aggregates (stddev/ci95, timing) are emitted instead of tables.
  */
 inline void
 runPerfScenario(const Options &opts, const std::vector<PerfNetwork> &nets,
@@ -66,30 +99,42 @@ runPerfScenario(const Options &opts, const std::vector<PerfNetwork> &nets,
                 const std::vector<double> &loads, const SimConfig &base,
                 int repetitions)
 {
-    for (const auto &tname : traffics) {
+    ExperimentGrid grid;
+    for (const auto &n : nets)
+        grid.addNetwork(n.label, *n.topology, *n.oracle);
+    for (const auto &tname : traffics)
+        grid.addTraffic(tname);
+    grid.loads = loads;
+    grid.base = base;
+    grid.repetitions = repetitions;
+
+    ExperimentEngine engine(opts.jobs(), base.seed);
+    GridResult result = engine.run(grid);
+    reportEngine(result, grid.numPoints(), repetitions);
+
+    if (opts.getBool("json", false)) {
+        writeGridJson(std::cout, grid, result, base.seed);
+        return;
+    }
+
+    for (std::size_t ti = 0; ti < traffics.size(); ++ti) {
         std::vector<std::string> headers{"offered"};
         for (const auto &n : nets) {
             headers.push_back("acc(" + n.label + ")");
             headers.push_back("lat(" + n.label + ")");
         }
         TablePrinter t(headers);
-
-        std::vector<std::vector<SimResult>> series;
-        for (const auto &n : nets) {
-            auto traffic = makeTraffic(tname);
-            series.push_back(runLoadSweep(*n.topology, *n.oracle,
-                                          *traffic, base, loads,
-                                          repetitions));
-        }
-        for (std::size_t i = 0; i < loads.size(); ++i) {
-            std::vector<std::string> row{TablePrinter::fmt(loads[i], 2)};
-            for (const auto &s : series) {
-                row.push_back(TablePrinter::fmt(s[i].accepted, 3));
-                row.push_back(TablePrinter::fmt(s[i].avg_latency, 1));
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            std::vector<std::string> row{TablePrinter::fmt(loads[li], 2)};
+            for (std::size_t ni = 0; ni < nets.size(); ++ni) {
+                const auto &p = result.points[result.index(
+                    ni, ti, li, traffics.size(), loads.size())];
+                row.push_back(TablePrinter::fmt(p.accepted.mean, 3));
+                row.push_back(TablePrinter::fmt(p.avg_latency.mean, 1));
             }
             t.addRow(row);
         }
-        emit(opts, "traffic: " + tname, t);
+        emit(opts, "traffic: " + traffics[ti], t);
     }
 }
 

@@ -11,6 +11,9 @@
  * all of a leaf's traffic must share its common ancestors with one
  * destination) and measures the saturation throughput on CFT and RFC
  * at equal resources.
+ *
+ * The (pattern x topology x route mode) grid is declared as engine
+ * trial specs and runs in parallel (--jobs).
  */
 #include <iostream>
 
@@ -39,10 +42,9 @@ main(int argc, char **argv)
     base.warmup = opts.getInt("warmup", full ? 2000 : 600);
     base.measure = opts.getInt("measure", full ? 8000 : 2000);
     base.seed = opts.getInt("seed", 55);
+    base.load = 1.0;
 
     const int tpl = cft.terminalsPerLeaf();
-    TablePrinter t({"pattern", "stride", "thr(CFT)", "thr(RFC minimal)",
-                    "thr(RFC updown-random)", "thr(RFC Valiant)"});
     struct Case
     {
         const char *label;
@@ -54,31 +56,48 @@ main(int argc, char **argv)
                                    (cft.numLeaves() / 2)},
         {"intra-leaf rotate", 1},
     };
+
+    auto shift = [](long long stride) -> TrafficFactory {
+        return [stride]() {
+            return std::make_unique<ShiftTraffic>(stride);
+        };
+    };
+
+    // Four configurations per case: CFT minimal, RFC minimal, RFC
+    // up/down-random, RFC Valiant.
+    std::vector<TrialSpec> specs;
     for (const auto &c : cases) {
-        SimConfig sat = base;
-        sat.load = 1.0;
-        ShiftTraffic t1(c.stride), t2(c.stride), t3(c.stride);
-        Simulator s1(cft, o_cft, t1, sat);
-        auto r1 = s1.run();
+        SimConfig cfg = base;
+        cfg.route_mode = RouteMode::kMinimal;
+        specs.push_back({&cft, &o_cft, shift(c.stride), cfg,
+                         std::string(c.label) + "/CFT"});
+        specs.push_back({&built.topology, &o_rfc, shift(c.stride), cfg,
+                         std::string(c.label) + "/RFC-minimal"});
+        cfg.route_mode = RouteMode::kUpDownRandom;
+        specs.push_back({&built.topology, &o_rfc, shift(c.stride), cfg,
+                         std::string(c.label) + "/RFC-updown-random"});
+        cfg.route_mode = RouteMode::kValiant;
+        specs.push_back({&built.topology, &o_rfc, shift(c.stride), cfg,
+                         std::string(c.label) + "/RFC-valiant"});
+    }
 
-        sat.route_mode = RouteMode::kMinimal;
-        Simulator s2(built.topology, o_rfc, t2, sat);
-        auto r2 = s2.run();
+    ExperimentEngine engine(opts.jobs(), base.seed);
+    auto points = engine.runPoints(
+        specs, static_cast<int>(opts.getInt("trials", 1)));
 
-        sat.route_mode = RouteMode::kUpDownRandom;
-        Simulator s3(built.topology, o_rfc, t3, sat);
-        auto r3 = s3.run();
-
-        sat.route_mode = RouteMode::kValiant;
-        ShiftTraffic t4(c.stride);
-        Simulator s4(built.topology, o_rfc, t4, sat);
-        auto r4 = s4.run();
-
+    TablePrinter t({"pattern", "stride", "thr(CFT)", "thr(RFC minimal)",
+                    "thr(RFC updown-random)", "thr(RFC Valiant)"});
+    std::size_t p = 0;
+    for (const auto &c : cases) {
+        const auto &r1 = points[p++];
+        const auto &r2 = points[p++];
+        const auto &r3 = points[p++];
+        const auto &r4 = points[p++];
         t.addRow({c.label, TablePrinter::fmtInt(c.stride),
-                  TablePrinter::fmt(r1.accepted, 3),
-                  TablePrinter::fmt(r2.accepted, 3),
-                  TablePrinter::fmt(r3.accepted, 3),
-                  TablePrinter::fmt(r4.accepted, 3)});
+                  TablePrinter::fmt(r1.accepted.mean, 3),
+                  TablePrinter::fmt(r2.accepted.mean, 3),
+                  TablePrinter::fmt(r3.accepted.mean, 3),
+                  TablePrinter::fmt(r4.accepted.mean, 3)});
     }
     emit(opts, "saturation throughput under shift patterns", t);
     std::cout << "Minimal up/down funnels a leaf-to-leaf flood through "

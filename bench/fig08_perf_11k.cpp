@@ -9,6 +9,10 @@
  * Default (sandbox) scale keeps the same structure with R = 16
  * (1,024 terminals); the radix-reduced RFC variant uses R = 12
  * (1,020 terminals).  --full runs the paper configuration.
+ *
+ * The 3 networks x 3 traffics x 7 loads x --trials grid runs on the
+ * experiment engine; --jobs N parallelizes it with bit-identical
+ * output (CSV included), --json adds stddev/ci95 and trial timing.
  */
 #include <iostream>
 

@@ -10,7 +10,8 @@
  *
  * Default (sandbox) scale: CFT(8,4) with 512 terminals vs RFC(16,3)
  * with 512 terminals - the level count difference is preserved.
- * --full runs the paper configuration (slow: ~10^5 terminals).
+ * --full runs the paper configuration (slow: ~10^5 terminals;
+ * --jobs N parallelizes the trial grid deterministically).
  */
 #include <iostream>
 

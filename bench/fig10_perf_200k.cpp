@@ -11,7 +11,8 @@
  * Default (sandbox) scale: R = 12; RFC at its own threshold (N1 = 232,
  * 1,392 terminals) vs CFT(12,4) (2,592 terminals) - like the paper,
  * the RFC sits at its routability limit while the CFT is full.
- * --full runs the paper configuration (very slow: ~2*10^5 terminals).
+ * --full runs the paper configuration (very slow: ~2*10^5 terminals;
+ * --jobs N parallelizes the trial grid deterministically).
  */
 #include <iostream>
 

@@ -7,6 +7,10 @@
  * links tolerated before some leaf pair loses its last common
  * ancestor.  CFT and OFT appear as isolated points; the 2-level OFT
  * sits exactly at zero (unique up/down paths).
+ *
+ * The per-instance tolerance trials (independent random removal
+ * orders) run on the experiment engine with derived per-trial seeds:
+ * deterministic at any --jobs value.
  */
 #include <iostream>
 
@@ -30,6 +34,17 @@ main(int argc, char **argv)
         static_cast<int>(opts.getInt("trials", full ? 20 : 5));
     Rng rng(opts.getInt("seed", 11));
 
+    ExperimentEngine engine(opts.jobs(), opts.getInt("seed", 11));
+    std::uint64_t stream = 0;  // one stream id per studied instance
+    auto tolerance = [&](const FoldedClos &fc) {
+        return engine.study(stream++, trials,
+                            [&fc](int, std::uint64_t seed) {
+                                Rng trial_rng(seed);
+                                return updownToleranceFraction(
+                                    fc, trial_rng);
+                            });
+    };
+
     for (int levels : {2, 3, 4}) {
         int n1_max = rfcMaxLeaves(radix, levels);
         // Default mode caps the 4-level sweep (oracle rebuilds on large
@@ -47,8 +62,7 @@ main(int argc, char **argv)
             auto built = buildRfc(radix, levels, n1, rng, 100);
             if (!built.routable)
                 continue;
-            auto stat =
-                updownToleranceStudy(built.topology, trials, rng);
+            auto stat = tolerance(built.topology);
             t.addRow({TablePrinter::fmtInt(n1),
                       TablePrinter::fmtInt(
                           built.topology.numTerminals()),
@@ -69,7 +83,7 @@ main(int argc, char **argv)
         auto cft = buildCft(radix, levels);
         if (!full && cft.numTerminals() > 3000)
             break;
-        auto stat = updownToleranceStudy(cft, trials, rng);
+        auto stat = tolerance(cft);
         c.addRow({"CFT l=" + std::to_string(levels),
                   TablePrinter::fmtInt(cft.numTerminals()),
                   TablePrinter::fmtPct(stat.mean(), 1),
@@ -80,7 +94,7 @@ main(int argc, char **argv)
         auto oft = buildOft(q, levels);
         if (!full && oft.numTerminals() > 3000)
             break;
-        auto stat = updownToleranceStudy(oft, trials, rng);
+        auto stat = tolerance(oft);
         c.addRow({"OFT l=" + std::to_string(levels),
                   TablePrinter::fmtInt(oft.numTerminals()),
                   TablePrinter::fmtPct(stat.mean(), 1),

@@ -11,8 +11,15 @@
  *
  * Default (sandbox) scale: R = 12 (432 terminals) with proportional
  * fault steps.  --full runs the paper configuration.
+ *
+ * Grid declaration: the nested fault sets (one removal order per
+ * topology, as in the paper's progression) are materialized up front
+ * as 2*(steps+1) networks; the engine then runs the full cross
+ * product networks x traffics at offered load 1.0 in parallel.
  */
+#include <cmath>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "clos/fat_tree.hpp"
@@ -47,47 +54,88 @@ main(int argc, char **argv)
     base.warmup = opts.getInt("warmup", full ? 3000 : 500);
     base.measure = opts.getInt("measure", full ? 10000 : 1500);
     base.seed = opts.getInt("seed", 12);
+    base.load = 1.0;  // saturation throughput at every fault level
     int reps = static_cast<int>(opts.getInt("trials", full ? 5 : 1));
 
     std::cout << "terminals: " << cft.numTerminals()
               << ", wires: " << wires
               << ", fault step: " << step_links << " links\n\n";
 
-    for (const char *tname :
-         {"uniform", "random-pairing", "fixed-random"}) {
+    // Nested fault sets: one removal order per topology, prefixes of
+    // which define every fault level.
+    Rng order_rng(base.seed + 1);
+    auto cft_order = randomLinkOrder(cft, order_rng);
+    auto rfc_order = randomLinkOrder(rfc_fc, order_rng);
+
+    struct FaultedPair
+    {
+        FoldedClos cft_cut, rfc_cut;
+        std::unique_ptr<UpDownOracle> o_cft, o_rfc;
+    };
+    std::vector<FaultedPair> levels(static_cast<std::size_t>(steps + 1));
+    for (int s = 0; s <= steps; ++s) {
+        auto f = static_cast<std::size_t>(s) *
+                 static_cast<std::size_t>(step_links);
+        auto &lvl = levels[static_cast<std::size_t>(s)];
+        lvl.cft_cut = withLinksRemoved(cft, cft_order, f);
+        lvl.rfc_cut = withLinksRemoved(rfc_fc, rfc_order, f);
+        lvl.o_cft = std::make_unique<UpDownOracle>(lvl.cft_cut);
+        lvl.o_rfc = std::make_unique<UpDownOracle>(lvl.rfc_cut);
+    }
+
+    const std::vector<std::string> traffics{"uniform", "random-pairing",
+                                            "fixed-random"};
+    ExperimentGrid grid;
+    for (int s = 0; s <= steps; ++s) {
+        const auto &lvl = levels[static_cast<std::size_t>(s)];
+        grid.addNetwork("CFT@" + std::to_string(s), lvl.cft_cut,
+                        *lvl.o_cft);
+        grid.addNetwork("RFC@" + std::to_string(s), lvl.rfc_cut,
+                        *lvl.o_rfc);
+    }
+    for (const auto &tname : traffics)
+        grid.addTraffic(tname);
+    grid.loads = {1.0};
+    grid.base = base;
+    grid.repetitions = reps;
+
+    ExperimentEngine engine(opts.jobs(), base.seed);
+    GridResult result = engine.run(grid);
+    reportEngine(result, grid.numPoints(), reps);
+
+    if (opts.getBool("json", false)) {
+        writeGridJson(std::cout, grid, result, base.seed);
+        return 0;
+    }
+
+    // Networks are interleaved CFT@s, RFC@s; one table per traffic.
+    auto point = [&](std::size_t net, std::size_t ti) -> const
+        PointResult & {
+        return result.points[result.index(net, ti, 0, traffics.size(),
+                                          1)];
+    };
+    for (std::size_t ti = 0; ti < traffics.size(); ++ti) {
         TablePrinter t({"faulty links", "% of wires", "thr(CFT)",
                         "thr(RFC)", "unroutable(CFT)",
                         "unroutable(RFC)"});
-        // Use one removal order per topology so fault sets are nested,
-        // as in the paper's progression.
-        Rng order_rng(base.seed + 1);
-        auto cft_order = randomLinkOrder(cft, order_rng);
-        auto rfc_order = randomLinkOrder(rfc_fc, order_rng);
-
         for (int s = 0; s <= steps; ++s) {
             long long f = s * step_links;
-            auto cft_cut = withLinksRemoved(
-                cft, cft_order, static_cast<std::size_t>(f));
-            auto rfc_cut = withLinksRemoved(
-                rfc_fc, rfc_order, static_cast<std::size_t>(f));
-            UpDownOracle o_cft(cft_cut), o_rfc(rfc_cut);
-
-            auto tr1 = makeTraffic(tname);
-            auto r_cft = saturationThroughput(cft_cut, o_cft, *tr1,
-                                              base, reps);
-            auto tr2 = makeTraffic(tname);
-            auto r_rfc = saturationThroughput(rfc_cut, o_rfc, *tr2,
-                                              base, reps);
-
+            const auto &r_cft = point(2 * static_cast<std::size_t>(s),
+                                      ti);
+            const auto &r_rfc = point(2 * static_cast<std::size_t>(s) +
+                                          1,
+                                      ti);
             t.addRow({TablePrinter::fmtInt(f),
                       TablePrinter::fmtPct(
                           static_cast<double>(f) / wires, 1),
-                      TablePrinter::fmt(r_cft.accepted, 3),
-                      TablePrinter::fmt(r_rfc.accepted, 3),
-                      TablePrinter::fmtInt(r_cft.unroutable_packets),
-                      TablePrinter::fmtInt(r_rfc.unroutable_packets)});
+                      TablePrinter::fmt(r_cft.accepted.mean, 3),
+                      TablePrinter::fmt(r_rfc.accepted.mean, 3),
+                      TablePrinter::fmtInt(std::llround(
+                          r_cft.unroutable_packets.mean)),
+                      TablePrinter::fmtInt(std::llround(
+                          r_rfc.unroutable_packets.mean))});
         }
-        emit(opts, std::string("traffic: ") + tname, t);
+        emit(opts, "traffic: " + traffics[ti], t);
     }
     return 0;
 }

@@ -8,7 +8,9 @@
  * terminal count.  This reproduces the paper's choices (e.g. CFT R=16
  * and RFC R=12 at T~1024, CFT R=20 and RFC R=14 at T~2048).
  * Each cell averages --trials random removal orders (paper: 100;
- * default here: 10; --full: 100).
+ * default here: 10; --full: 100).  The removal-order trials of each
+ * cell run on the experiment engine (--jobs threads) with derived
+ * per-trial seeds, so cells are deterministic at any job count.
  */
 #include <cmath>
 #include <iostream>
@@ -93,6 +95,17 @@ main(int argc, char **argv)
         static_cast<int>(opts.getInt("trials", full ? 100 : 10));
     Rng rng(opts.getInt("seed", 33));
 
+    ExperimentEngine engine(opts.jobs(), opts.getInt("seed", 33));
+    std::uint64_t stream = 0;  // one stream id per table cell
+    auto disconnect = [&](const Graph &g) {
+        return engine.study(stream++, trials,
+                            [&g](int, std::uint64_t seed) {
+                                Rng trial_rng(seed);
+                                return disconnectionFraction(g,
+                                                             trial_rng);
+                            });
+    };
+
     TablePrinter t({"~T", "CFT", "R", "RRN", "R", "RFC", "R", "OFT", "R",
                     "(paper CFT/RRN/RFC)"});
     const char *paper[] = {"45.6/45.6/35.5", "51.3/49.0/38.2",
@@ -103,7 +116,7 @@ main(int argc, char **argv)
         // CFT.
         int r_cft = cftRadixFor(target);
         auto cft = buildCft(r_cft, 3);
-        auto s_cft = disconnectionStudy(cft.toGraph(), trials, rng);
+        auto s_cft = disconnect(cft.toGraph());
 
         // RRN.
         int r_rrn = rrnRadixFor(target);
@@ -113,7 +126,7 @@ main(int argc, char **argv)
         if ((static_cast<long long>(n) * delta) % 2)
             ++n;
         Graph rrn = randomRegularGraph(n, delta, rng);
-        auto s_rrn = disconnectionStudy(rrn, trials, rng);
+        auto s_rrn = disconnect(rrn);
 
         // RFC.
         int r_rfc = rfcRadixFor(target);
@@ -122,14 +135,13 @@ main(int argc, char **argv)
         if (n1 % 2)
             ++n1;
         auto built = buildRfc(r_rfc, 3, n1, rng);
-        auto s_rfc =
-            disconnectionStudy(built.topology.toGraph(), trials, rng);
+        auto s_rfc = disconnect(built.topology.toGraph());
 
         // OFT (paper reports it only at some sizes; we fill all rows
         // with the closest 3-level instance).
         int q = oftOrderFor(target);
         auto oft = buildOft(q, 3);
-        auto s_oft = disconnectionStudy(oft.toGraph(), trials, rng);
+        auto s_oft = disconnect(oft.toGraph());
 
         t.addRow({TablePrinter::fmtInt(target),
                   TablePrinter::fmtPct(s_cft.mean(), 1),

@@ -8,6 +8,9 @@
  * e^{-e^{-x}} where x is the offset implied by (R, l, N1); at the
  * threshold (x = 0) this is 1/e, matching the paper's "one success
  * every three generations" remark.
+ *
+ * Generations are independent wirings, so they run as a deterministic
+ * engine map (--jobs threads, per-generation derived seeds).
  */
 #include <cmath>
 #include <iostream>
@@ -32,7 +35,9 @@ main(int argc, char **argv)
     const int levels = static_cast<int>(opts.getInt("levels", 3));
     const int gens =
         static_cast<int>(opts.getInt("generations", full ? 400 : 80));
-    Rng rng(opts.getInt("seed", 42));
+
+    ExperimentEngine engine(opts.jobs(), opts.getInt("seed", 42));
+    std::uint64_t stream = 0;  // one stream per table row
 
     const int n1_star = rfcMaxLeaves(radix, levels);
     TablePrinter t({"N1", "implied x", "P(routable) predicted",
@@ -53,13 +58,25 @@ main(int argc, char **argv)
                    log_pairs;
         double predicted = std::exp(-std::exp(-x));
 
+        struct Gen
+        {
+            int routable = 0;
+            double coverage = 0.0;
+        };
+        auto results = engine.map<Gen>(
+            stream++, static_cast<std::size_t>(gens),
+            [&](std::size_t, std::uint64_t seed) {
+                Rng gen_rng(seed);
+                auto fc = buildRfcUnchecked(radix, levels, n1, gen_rng);
+                UpDownOracle oracle(fc);
+                return Gen{oracle.routable() ? 1 : 0,
+                           oracle.routablePairFraction()};
+            });
         int ok = 0;
         double coverage = 0.0;
-        for (int g = 0; g < gens; ++g) {
-            auto fc = buildRfcUnchecked(radix, levels, n1, rng);
-            UpDownOracle oracle(fc);
-            ok += oracle.routable();
-            coverage += oracle.routablePairFraction();
+        for (const auto &g : results) {
+            ok += g.routable;
+            coverage += g.coverage;
         }
         t.addRow({TablePrinter::fmtInt(n1), TablePrinter::fmt(x, 2),
                   TablePrinter::fmt(predicted, 3),
@@ -75,13 +92,18 @@ main(int argc, char **argv)
     // The paper's practical corollary: the acceptance loop needs ~e
     // attempts at the threshold.
     TablePrinter a({"metric", "value"});
-    Rng rng2(opts.getInt("seed", 42) + 1);
-    long long total_attempts = 0;
     const int builds = full ? 60 : 20;
-    for (int i = 0; i < builds; ++i) {
-        auto built = buildRfc(radix, levels, n1_star, rng2, 1000);
-        total_attempts += built.attempts;
-    }
+    auto attempts = engine.map<long long>(
+        stream++, static_cast<std::size_t>(builds),
+        [&](std::size_t, std::uint64_t seed) {
+            Rng build_rng(seed);
+            auto built = buildRfc(radix, levels, n1_star, build_rng,
+                                  1000);
+            return built.attempts;
+        });
+    long long total_attempts = 0;
+    for (long long n : attempts)
+        total_attempts += n;
     a.addRow({"mean attempts at threshold (expect ~e = 2.72)",
               TablePrinter::fmt(
                   static_cast<double>(total_attempts) / builds, 2)});

@@ -8,8 +8,14 @@
  * and simulated saturation throughput - the Section 7 story as an
  * operational what-if tool.
  *
+ * The fault progression is materialized up front as nested snapshots
+ * (one random removal order per topology; batch b removes the first
+ * b * batch links of it), and all probes run in parallel on the
+ * experiment engine with per-probe derived seeds: output is identical
+ * at any --jobs value.
+ *
  * Usage: fault_drill [--radix R] [--levels L] [--batches N]
- *                    [--batch-frac F] [--seed S]
+ *                    [--batch-frac F] [--seed S] [--jobs N]
  */
 #include <iostream>
 
@@ -21,9 +27,9 @@ namespace {
 
 struct Snapshot
 {
-    bool connected;
-    double pair_coverage;
-    double throughput;
+    bool connected = false;
+    double pair_coverage = 0.0;
+    double throughput = 0.0;
 };
 
 Snapshot
@@ -54,38 +60,57 @@ main(int argc, char **argv)
     const int levels = static_cast<int>(opts.getInt("levels", 3));
     const int batches = static_cast<int>(opts.getInt("batches", 6));
     const double batch_frac = opts.getDouble("batch-frac", 0.03);
-    Rng rng(opts.getInt("seed", 4));
+    const std::uint64_t seed = opts.getInt("seed", 4);
+    Rng rng(seed);
 
     auto cft = buildCft(radix, levels);
     auto built = buildRfc(radix, levels, cft.numLeaves(), rng);
-    auto rfc_net = built.topology;
+    const auto &rfc_net = built.topology;
     std::cout << "== fault drill: " << cft.name() << " vs "
               << rfc_net.name() << " (" << cft.numTerminals()
               << " terminals, " << cft.numWires() << " wires) ==\n\n";
 
-    TablePrinter t({"faulty", "%", "CFT conn", "CFT pairs", "CFT thr",
-                    "RFC conn", "RFC pairs", "RFC thr"});
     const long long wires = cft.numWires();
     auto batch =
         static_cast<std::size_t>(static_cast<double>(wires) * batch_frac);
-    long long removed = 0;
-    for (int b = 0; b <= batches; ++b) {
-        auto s_cft = probe(cft, 100 + b);
-        auto s_rfc = probe(rfc_net, 200 + b);
+
+    // Nested fault snapshots: prefixes of one removal order per
+    // topology, so batch b's faults are a superset of batch b-1's.
+    Rng order_rng(seed + 1);
+    auto cft_order = randomLinkOrder(cft, order_rng);
+    auto rfc_order = randomLinkOrder(rfc_net, order_rng);
+    auto n_levels = static_cast<std::size_t>(batches + 1);
+    std::vector<FoldedClos> cft_cuts(n_levels), rfc_cuts(n_levels);
+    for (std::size_t b = 0; b < n_levels; ++b) {
+        cft_cuts[b] = withLinksRemoved(cft, cft_order, b * batch);
+        rfc_cuts[b] = withLinksRemoved(rfc_net, rfc_order, b * batch);
+    }
+
+    ExperimentEngine engine(opts.jobs(), seed);
+    auto s_cft = engine.map<Snapshot>(
+        /*stream=*/0, n_levels,
+        [&](std::size_t b, std::uint64_t probe_seed) {
+            return probe(cft_cuts[b], probe_seed);
+        });
+    auto s_rfc = engine.map<Snapshot>(
+        /*stream=*/1, n_levels,
+        [&](std::size_t b, std::uint64_t probe_seed) {
+            return probe(rfc_cuts[b], probe_seed);
+        });
+
+    TablePrinter t({"faulty", "%", "CFT conn", "CFT pairs", "CFT thr",
+                    "RFC conn", "RFC pairs", "RFC thr"});
+    for (std::size_t b = 0; b < n_levels; ++b) {
+        auto removed = static_cast<long long>(b * batch);
         t.addRow({TablePrinter::fmtInt(removed),
                   TablePrinter::fmtPct(
                       static_cast<double>(removed) / wires, 1),
-                  s_cft.connected ? "yes" : "NO",
-                  TablePrinter::fmtPct(s_cft.pair_coverage, 1),
-                  TablePrinter::fmt(s_cft.throughput, 3),
-                  s_rfc.connected ? "yes" : "NO",
-                  TablePrinter::fmtPct(s_rfc.pair_coverage, 1),
-                  TablePrinter::fmt(s_rfc.throughput, 3)});
-        if (b == batches)
-            break;
-        removeRandomLinks(cft, batch, rng);
-        removeRandomLinks(rfc_net, batch, rng);
-        removed += static_cast<long long>(batch);
+                  s_cft[b].connected ? "yes" : "NO",
+                  TablePrinter::fmtPct(s_cft[b].pair_coverage, 1),
+                  TablePrinter::fmt(s_cft[b].throughput, 3),
+                  s_rfc[b].connected ? "yes" : "NO",
+                  TablePrinter::fmtPct(s_rfc[b].pair_coverage, 1),
+                  TablePrinter::fmt(s_rfc[b].throughput, 3)});
     }
     t.print(std::cout);
 

@@ -20,7 +20,14 @@
  *   --load X (single point) | --min-load/--max-load/--points [0.1..1.0 x7]
  *   --route-mode minimal|updown-random|valiant [minimal]
  *   --vcs [4] --buffers [4] --pkt-phits [16] --warmup [1000]
- *   --measure [4000] --seed [1] --trials [1] --csv
+ *   --measure [4000] --seed [1] --trials [1]
+ *   --jobs N [auto]  parallel trials (bit-identical at any N)
+ *   --csv | --json   machine-readable output (JSON includes
+ *                    stddev/ci95 when --trials > 1, plus timing)
+ *
+ * The load sweep is declared as an experiment grid (1 network x 1
+ * traffic x points x trials) and runs on the shared engine; per-trial
+ * seeds are derived from --seed, so results do not depend on --jobs.
  */
 #include <iostream>
 
@@ -99,16 +106,18 @@ main(int argc, char **argv)
     }
 
     const std::string tname = opts.get("traffic", "uniform");
-    auto make_traffic = [&]() -> std::unique_ptr<Traffic> {
-        if (tname == "shift") {
-            long long stride =
-                opts.getInt("shift-stride", fc.terminalsPerLeaf());
+    const long long stride =
+        opts.getInt("shift-stride", fc.terminalsPerLeaf());
+    const double hot_fraction = opts.getDouble("hot-fraction", 0.2);
+    const int hotspots = static_cast<int>(opts.getInt("hotspots", 1));
+    TrafficFactory make_traffic =
+        [tname, stride, hot_fraction,
+         hotspots]() -> std::unique_ptr<Traffic> {
+        if (tname == "shift")
             return std::make_unique<ShiftTraffic>(stride);
-        }
         if (tname == "hotspot")
-            return std::make_unique<HotspotTraffic>(
-                opts.getDouble("hot-fraction", 0.2),
-                static_cast<int>(opts.getInt("hotspots", 1)));
+            return std::make_unique<HotspotTraffic>(hot_fraction,
+                                                    hotspots);
         return makeTraffic(tname);
     };
 
@@ -122,13 +131,30 @@ main(int argc, char **argv)
     }
     const int trials = static_cast<int>(opts.getInt("trials", 1));
 
-    auto traffic = make_traffic();
-    auto results =
-        runLoadSweep(fc, oracle, *traffic, cfg, loads, trials);
+    ExperimentGrid grid;
+    grid.addNetwork(fc.name(), fc, oracle);
+    grid.addTraffic(tname, make_traffic);
+    grid.loads = loads;
+    grid.base = cfg;
+    grid.repetitions = trials;
+
+    ExperimentEngine engine(opts.jobs(), cfg.seed);
+    GridResult result = engine.run(grid);
+
+    std::cout << "traffic: " << tname << ", route mode: " << mode
+              << ", " << trials << " trial(s)/point, "
+              << result.jobs << " job(s), "
+              << TablePrinter::fmt(result.wall_seconds, 2) << " s\n";
+
+    if (opts.getBool("json", false)) {
+        writeGridJson(std::cout, grid, result, cfg.seed);
+        return 0;
+    }
 
     TablePrinter t({"offered", "accepted", "avg-lat", "p50-lat",
                     "p99-lat", "avg-hops", "suppressed", "unroutable"});
-    for (const auto &r : results) {
+    for (const auto &p : result.points) {
+        auto r = p.toSimResult();
         t.addRow({TablePrinter::fmt(r.offered, 3),
                   TablePrinter::fmt(r.accepted, 3),
                   TablePrinter::fmt(r.avg_latency, 1),
@@ -138,8 +164,6 @@ main(int argc, char **argv)
                   TablePrinter::fmtInt(r.suppressed_packets),
                   TablePrinter::fmtInt(r.unroutable_packets)});
     }
-    std::cout << "traffic: " << tname << ", route mode: " << mode
-              << ", " << trials << " trial(s)/point\n";
     if (opts.getBool("csv", false))
         t.printCsv(std::cout);
     else

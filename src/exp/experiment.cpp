@@ -1,0 +1,288 @@
+#include "exp/experiment.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "routing/updown.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace rfc {
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+TrafficFactory
+namedTraffic(const std::string &name)
+{
+    return [name]() { return makeTraffic(name); };
+}
+
+SimResult
+PointResult::toSimResult() const
+{
+    SimResult r;
+    r.offered = offered;
+    r.accepted = accepted.mean;
+    r.avg_latency = avg_latency.mean;
+    r.p50_latency = p50_latency.mean;
+    r.p99_latency = p99_latency.mean;
+    r.avg_hops = avg_hops.mean;
+    r.delivered_packets = std::llround(delivered_packets.mean);
+    r.generated_packets = std::llround(generated_packets.mean);
+    r.suppressed_packets = std::llround(suppressed_packets.mean);
+    r.unroutable_packets = std::llround(unroutable_packets.mean);
+    return r;
+}
+
+ExperimentGrid &
+ExperimentGrid::addNetwork(std::string label, const FoldedClos &fc,
+                           const UpDownOracle &oracle)
+{
+    networks.push_back({std::move(label), &fc, &oracle});
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::addTraffic(const std::string &name)
+{
+    traffics.push_back({name, namedTraffic(name)});
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::addTraffic(std::string label, TrafficFactory make)
+{
+    traffics.push_back({std::move(label), std::move(make)});
+    return *this;
+}
+
+std::vector<TrialSpec>
+ExperimentGrid::points() const
+{
+    std::vector<TrialSpec> out;
+    out.reserve(numPoints());
+    for (const auto &net : networks) {
+        for (const auto &pat : traffics) {
+            for (double load : loads) {
+                TrialSpec spec;
+                spec.topology = net.topology;
+                spec.oracle = net.oracle;
+                spec.traffic = pat.make;
+                spec.config = base;
+                spec.config.load = load;
+                spec.label = net.label + "/" + pat.label;
+                out.push_back(std::move(spec));
+            }
+        }
+    }
+    return out;
+}
+
+MetricStat
+toMetricStat(const RunningStat &s)
+{
+    MetricStat m;
+    m.mean = s.mean();
+    m.stddev = s.stddev();
+    m.ci95 = s.ci95();
+    m.min = s.min();
+    m.max = s.max();
+    return m;
+}
+
+ExperimentEngine::ExperimentEngine(int jobs, std::uint64_t base_seed)
+    : base_seed_(base_seed)
+{
+    if (jobs <= 0)
+        jobs = ThreadPool::hardwareConcurrency();
+    // The caller participates in parallelFor, so a pool of jobs-1
+    // workers yields exactly `jobs` concurrent threads.
+    pool_ = std::make_unique<ThreadPool>(jobs - 1);
+}
+
+ExperimentEngine::~ExperimentEngine() = default;
+
+int
+ExperimentEngine::jobs() const
+{
+    return pool_->size() + 1;
+}
+
+void
+ExperimentEngine::forEachIndex(
+    std::size_t n, const std::function<void(std::size_t)> &fn) const
+{
+    parallelFor(*pool_, n, fn);
+}
+
+std::vector<PointResult>
+ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
+                            int reps) const
+{
+    if (reps < 1)
+        throw std::invalid_argument("ExperimentEngine: reps must be >= 1");
+    const std::size_t n_points = pts.size();
+    const std::size_t n_trials = n_points * static_cast<std::size_t>(reps);
+
+    // One slot per trial, written exactly once by trial index; the
+    // aggregation pass below is serial and in-order, so the whole
+    // result is independent of scheduling.
+    std::vector<SimResult> trial_results(n_trials);
+    std::vector<double> trial_seconds(n_trials, 0.0);
+
+    forEachIndex(n_trials, [&](std::size_t t) {
+        const std::size_t p = t / static_cast<std::size_t>(reps);
+        const std::size_t rep = t % static_cast<std::size_t>(reps);
+        const TrialSpec &spec = pts[p];
+
+        SimConfig cfg = spec.config;
+        cfg.seed = deriveSeed(base_seed_, p, rep);
+
+        auto traffic = spec.traffic();
+        auto start = std::chrono::steady_clock::now();
+        Simulator sim(*spec.topology, *spec.oracle, *traffic, cfg);
+        trial_results[t] = sim.run();
+        trial_seconds[t] = seconds(start,
+                                   std::chrono::steady_clock::now());
+    });
+
+    std::vector<PointResult> out(n_points);
+    for (std::size_t p = 0; p < n_points; ++p) {
+        RunningStat acc, lat, p50, p99, hops, del, gen, sup, unr;
+        PointResult &pr = out[p];
+        pr.label = pts[p].label;
+        pr.offered = pts[p].config.load;
+        pr.reps = reps;
+        for (int rep = 0; rep < reps; ++rep) {
+            const std::size_t t =
+                p * static_cast<std::size_t>(reps) +
+                static_cast<std::size_t>(rep);
+            const SimResult &r = trial_results[t];
+            acc.add(r.accepted);
+            lat.add(r.avg_latency);
+            p50.add(r.p50_latency);
+            p99.add(r.p99_latency);
+            hops.add(r.avg_hops);
+            del.add(static_cast<double>(r.delivered_packets));
+            gen.add(static_cast<double>(r.generated_packets));
+            sup.add(static_cast<double>(r.suppressed_packets));
+            unr.add(static_cast<double>(r.unroutable_packets));
+            pr.trial_seconds_total += trial_seconds[t];
+            pr.trial_seconds_max =
+                std::max(pr.trial_seconds_max, trial_seconds[t]);
+        }
+        pr.accepted = toMetricStat(acc);
+        pr.avg_latency = toMetricStat(lat);
+        pr.p50_latency = toMetricStat(p50);
+        pr.p99_latency = toMetricStat(p99);
+        pr.avg_hops = toMetricStat(hops);
+        pr.delivered_packets = toMetricStat(del);
+        pr.generated_packets = toMetricStat(gen);
+        pr.suppressed_packets = toMetricStat(sup);
+        pr.unroutable_packets = toMetricStat(unr);
+    }
+    return out;
+}
+
+GridResult
+ExperimentEngine::run(const ExperimentGrid &grid) const
+{
+    GridResult result;
+    result.jobs = jobs();
+    auto start = std::chrono::steady_clock::now();
+    result.points = runPoints(grid.points(), grid.repetitions);
+    result.wall_seconds = seconds(start,
+                                  std::chrono::steady_clock::now());
+    return result;
+}
+
+RunningStat
+ExperimentEngine::study(
+    std::uint64_t stream, int reps,
+    const std::function<double(int, std::uint64_t)> &fn) const
+{
+    std::vector<double> samples(static_cast<std::size_t>(reps));
+    forEachIndex(samples.size(), [&](std::size_t i) {
+        samples[i] = fn(static_cast<int>(i),
+                        deriveSeed(base_seed_, stream, i));
+    });
+    RunningStat stat;
+    for (double s : samples)
+        stat.add(s);
+    return stat;
+}
+
+namespace {
+
+void
+writeMetric(JsonWriter &w, const char *name, const MetricStat &m,
+            int reps)
+{
+    w.key(name);
+    w.beginObject();
+    w.kv("mean", m.mean);
+    if (reps > 1) {
+        w.kv("stddev", m.stddev);
+        w.kv("ci95", m.ci95);
+        w.kv("min", m.min);
+        w.kv("max", m.max);
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeGridJson(std::ostream &os, const ExperimentGrid &grid,
+              const GridResult &result, std::uint64_t base_seed)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("jobs", static_cast<std::int64_t>(result.jobs));
+    w.kv("base_seed", static_cast<std::uint64_t>(base_seed));
+    w.kv("repetitions", static_cast<std::int64_t>(grid.repetitions));
+    w.kv("wall_seconds", result.wall_seconds);
+
+    w.key("points");
+    w.beginArray();
+    for (const auto &p : result.points) {
+        w.beginObject();
+        w.kv("label", p.label);
+        w.kv("offered", p.offered);
+        w.kv("reps", static_cast<std::int64_t>(p.reps));
+        writeMetric(w, "accepted", p.accepted, p.reps);
+        writeMetric(w, "avg_latency", p.avg_latency, p.reps);
+        writeMetric(w, "p50_latency", p.p50_latency, p.reps);
+        writeMetric(w, "p99_latency", p.p99_latency, p.reps);
+        writeMetric(w, "avg_hops", p.avg_hops, p.reps);
+        writeMetric(w, "delivered_packets", p.delivered_packets,
+                    p.reps);
+        writeMetric(w, "generated_packets", p.generated_packets,
+                    p.reps);
+        writeMetric(w, "suppressed_packets", p.suppressed_packets,
+                    p.reps);
+        writeMetric(w, "unroutable_packets", p.unroutable_packets,
+                    p.reps);
+        w.key("timing");
+        w.beginObject();
+        w.kv("trial_seconds_total", p.trial_seconds_total);
+        w.kv("trial_seconds_max", p.trial_seconds_max);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace rfc

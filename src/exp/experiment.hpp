@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Deterministic parallel experiment engine.
+ *
+ * Every figure and table of the paper is a grid of independent
+ * simulation trials: topology x traffic pattern x offered load x seed.
+ * This module runs such grids on a ThreadPool while keeping the output
+ * bit-identical at any --jobs value:
+ *
+ *  - each trial's seed is derived from {base seed, point index, rep}
+ *    via deriveSeed (splitmix64 chain), never from shared RNG state or
+ *    execution order;
+ *  - each trial owns its Traffic instance and Simulator; the topology
+ *    and routing oracle are shared read-only;
+ *  - results land in slots indexed by trial id and are aggregated in a
+ *    serial pass afterwards.
+ *
+ * Aggregation reports per-trial means plus stddev / 95% CI for every
+ * metric - including the packet counters, which the legacy
+ * sweep::average() summed across reps while averaging the rates (so a
+ * 5-rep sweep reported 5x the counters of a 1-rep sweep).  Per-trial
+ * wall-clock is recorded so every bench run doubles as perf telemetry.
+ */
+#ifndef RFC_EXP_EXPERIMENT_HPP
+#define RFC_EXP_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "util/stats.hpp"
+
+namespace rfc {
+
+class ThreadPool;
+
+/** Creates a fresh Traffic instance for one trial (thread-confined). */
+using TrafficFactory = std::function<std::unique_ptr<Traffic>()>;
+
+/** Named factory: @p label appears in reports. */
+TrafficFactory namedTraffic(const std::string &name);
+
+/** One fully specified grid point (shared inputs are read-only). */
+struct TrialSpec
+{
+    const FoldedClos *topology = nullptr;
+    const UpDownOracle *oracle = nullptr;
+    TrafficFactory traffic;
+    SimConfig config;      //!< load/mode/etc; seed overridden per trial
+    std::string label;     //!< free-form point label for reports
+};
+
+/** Mean / spread snapshot of one metric over the reps of a point. */
+struct MetricStat
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double ci95 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Aggregated simulation results at one grid point. */
+struct PointResult
+{
+    std::string label;
+    double offered = 0.0;
+    int reps = 0;
+
+    MetricStat accepted;
+    MetricStat avg_latency;
+    MetricStat p50_latency;
+    MetricStat p99_latency;
+    MetricStat avg_hops;
+    MetricStat delivered_packets;   //!< per-trial mean, not a sum
+    MetricStat generated_packets;   //!< per-trial mean, not a sum
+    MetricStat suppressed_packets;  //!< per-trial mean, not a sum
+    MetricStat unroutable_packets;  //!< per-trial mean, not a sum
+
+    double trial_seconds_total = 0.0;  //!< summed per-trial wall clock
+    double trial_seconds_max = 0.0;    //!< slowest trial at this point
+
+    /**
+     * Collapse to the legacy SimResult shape: every field is the
+     * per-trial mean (counters rounded to the nearest integer).
+     */
+    SimResult toSimResult() const;
+};
+
+/**
+ * Declarative experiment grid: the cross product
+ * networks x traffics x loads, each point repeated `repetitions`
+ * times with independent derived seeds.
+ */
+struct ExperimentGrid
+{
+    struct Network
+    {
+        std::string label;
+        const FoldedClos *topology;
+        const UpDownOracle *oracle;
+    };
+    struct Pattern
+    {
+        std::string label;
+        TrafficFactory make;
+    };
+
+    std::vector<Network> networks;
+    std::vector<Pattern> traffics;
+    std::vector<double> loads;
+    SimConfig base;        //!< template; load and seed set per point
+    int repetitions = 1;
+
+    ExperimentGrid &addNetwork(std::string label, const FoldedClos &fc,
+                               const UpDownOracle &oracle);
+    /** Pattern by makeTraffic() name. */
+    ExperimentGrid &addTraffic(const std::string &name);
+    ExperimentGrid &addTraffic(std::string label, TrafficFactory make);
+
+    /** Expand the cross product into flat point specs. */
+    std::vector<TrialSpec> points() const;
+
+    std::size_t numPoints() const
+    {
+        return networks.size() * traffics.size() * loads.size();
+    }
+};
+
+/** Result of ExperimentGrid::run: points in grid declaration order. */
+struct GridResult
+{
+    std::vector<PointResult> points;  //!< net-major, traffic, load order
+    double wall_seconds = 0.0;        //!< engine wall clock for the run
+    int jobs = 1;
+
+    /** Index into points for (network, traffic, load) coordinates. */
+    std::size_t
+    index(std::size_t net, std::size_t traffic, std::size_t load,
+          std::size_t n_traffics, std::size_t n_loads) const
+    {
+        return (net * n_traffics + traffic) * n_loads + load;
+    }
+};
+
+/**
+ * Runs trial grids on a thread pool with deterministic seeding.
+ *
+ * `jobs` counts total concurrent threads including the caller
+ * (jobs = 1 is fully serial); <= 0 selects hardware concurrency.
+ * Instances are reusable across grids and cheap enough to create per
+ * bench run.
+ */
+class ExperimentEngine
+{
+  public:
+    explicit ExperimentEngine(int jobs = 0, std::uint64_t base_seed = 1);
+    ~ExperimentEngine();
+
+    int jobs() const;
+    std::uint64_t baseSeed() const { return base_seed_; }
+
+    /**
+     * Run every point `reps` times; trial t of point p uses seed
+     * deriveSeed(base_seed, p, t).  Results are bit-identical for any
+     * jobs value.  Exceptions from trials are rethrown on the caller.
+     */
+    std::vector<PointResult> runPoints(const std::vector<TrialSpec> &pts,
+                                       int reps) const;
+
+    /** Expand and run a declarative grid. */
+    GridResult run(const ExperimentGrid &grid) const;
+
+    /**
+     * Generic parallel study: aggregate `reps` scalar-valued trials of
+     * fn(rep, seed), with seed = deriveSeed(base_seed, stream, rep).
+     * The serial-RNG equivalent of disconnectionStudy / thm42-style
+     * loops, made deterministic under parallel execution.
+     */
+    RunningStat study(std::uint64_t stream, int reps,
+                      const std::function<double(int, std::uint64_t)>
+                          &fn) const;
+
+    /**
+     * Generic deterministic map: out[i] = fn(i, deriveSeed(base, stream,
+     * i)) computed on the pool.
+     */
+    template <typename R>
+    std::vector<R>
+    map(std::uint64_t stream, std::size_t n,
+        const std::function<R(std::size_t, std::uint64_t)> &fn) const
+    {
+        std::vector<R> out(n);
+        forEachIndex(n, [&](std::size_t i) {
+            out[i] = fn(i, deriveSeed(base_seed_, stream, i));
+        });
+        return out;
+    }
+
+  private:
+    /** parallelFor over the engine's pool (implementation detail). */
+    void forEachIndex(std::size_t n,
+                      const std::function<void(std::size_t)> &fn) const;
+
+    std::unique_ptr<ThreadPool> pool_;
+    std::uint64_t base_seed_;
+};
+
+/** Convert a RunningStat snapshot into a MetricStat. */
+MetricStat toMetricStat(const RunningStat &s);
+
+/**
+ * Emit a grid result as a JSON document: run metadata (jobs, seed,
+ * wall clock) and per-point aggregates with stddev/ci95 and per-trial
+ * timing.  Timing fields vary run to run; everything else is
+ * bit-stable across jobs values.
+ */
+void writeGridJson(std::ostream &os, const ExperimentGrid &grid,
+                   const GridResult &result, std::uint64_t base_seed);
+
+} // namespace rfc
+
+#endif // RFC_EXP_EXPERIMENT_HPP

@@ -32,6 +32,7 @@
 #include "clos/projective.hpp"
 #include "clos/rfc.hpp"
 #include "clos/serialize.hpp"
+#include "exp/experiment.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/bisection.hpp"
 #include "graph/graph.hpp"
@@ -47,9 +48,11 @@
 #include "sim/sweep.hpp"
 #include "sim/traffic.hpp"
 #include "util/bitset.hpp"
+#include "util/json.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 
 #endif // RFC_RFC_HPP

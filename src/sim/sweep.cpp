@@ -4,31 +4,58 @@ namespace rfc {
 
 namespace {
 
-/** Average a batch of per-seed results into one. */
-SimResult
-average(const std::vector<SimResult> &batch)
+/**
+ * Adapter presenting a caller-owned Traffic as a factory product.
+ * Only valid in serial mode (jobs = 1): the underlying pattern is
+ * stateful and re-initialized by every Simulator run.
+ */
+class BorrowedTraffic : public Traffic
 {
-    SimResult out;
-    if (batch.empty())
-        return out;
-    for (const auto &r : batch) {
-        out.offered = r.offered;
-        out.accepted += r.accepted;
-        out.avg_latency += r.avg_latency;
-        out.p50_latency += r.p50_latency;
-        out.p99_latency += r.p99_latency;
-        out.avg_hops += r.avg_hops;
-        out.delivered_packets += r.delivered_packets;
-        out.generated_packets += r.generated_packets;
-        out.suppressed_packets += r.suppressed_packets;
-        out.unroutable_packets += r.unroutable_packets;
+  public:
+    explicit BorrowedTraffic(Traffic &inner) : inner_(inner) {}
+
+    void
+    init(long long nodes, Rng &rng) override
+    {
+        inner_.init(nodes, rng);
     }
-    auto n = static_cast<double>(batch.size());
-    out.accepted /= n;
-    out.avg_latency /= n;
-    out.p50_latency /= n;
-    out.p99_latency /= n;
-    out.avg_hops /= n;
+
+    long long
+    dest(long long src, Rng &rng) override
+    {
+        return inner_.dest(src, rng);
+    }
+
+    std::string
+    name() const override
+    {
+        return inner_.name();
+    }
+
+  private:
+    Traffic &inner_;
+};
+
+std::vector<SimResult>
+sweepOnEngine(const FoldedClos &fc, const UpDownOracle &oracle,
+              const TrafficFactory &traffic, const SimConfig &base,
+              const std::vector<double> &loads, int repetitions,
+              int jobs)
+{
+    ExperimentGrid grid;
+    grid.addNetwork(fc.name(), fc, oracle);
+    grid.addTraffic("traffic", traffic);
+    grid.loads = loads;
+    grid.base = base;
+    grid.repetitions = repetitions;
+
+    ExperimentEngine engine(jobs, base.seed);
+    auto points = engine.run(grid).points;
+
+    std::vector<SimResult> out;
+    out.reserve(points.size());
+    for (const auto &p : points)
+        out.push_back(p.toSimResult());
     return out;
 }
 
@@ -39,35 +66,43 @@ runLoadSweep(const FoldedClos &fc, const UpDownOracle &oracle,
              Traffic &traffic, const SimConfig &base,
              const std::vector<double> &loads, int repetitions)
 {
-    std::vector<SimResult> out;
-    out.reserve(loads.size());
-    for (double load : loads) {
-        std::vector<SimResult> batch;
-        for (int rep = 0; rep < repetitions; ++rep) {
-            SimConfig cfg = base;
-            cfg.load = load;
-            cfg.seed = base.seed + 7919ULL * static_cast<std::uint64_t>(rep);
-            Simulator sim(fc, oracle, traffic, cfg);
-            batch.push_back(sim.run());
-        }
-        out.push_back(average(batch));
-    }
-    return out;
+    TrafficFactory borrow = [&traffic]() {
+        return std::make_unique<BorrowedTraffic>(traffic);
+    };
+    return sweepOnEngine(fc, oracle, borrow, base, loads, repetitions,
+                         /*jobs=*/1);
+}
+
+std::vector<SimResult>
+runLoadSweep(const FoldedClos &fc, const UpDownOracle &oracle,
+             const TrafficFactory &traffic, const SimConfig &base,
+             const std::vector<double> &loads, int repetitions,
+             int jobs)
+{
+    return sweepOnEngine(fc, oracle, traffic, base, loads, repetitions,
+                         jobs);
 }
 
 SimResult
 saturationThroughput(const FoldedClos &fc, const UpDownOracle &oracle,
                      Traffic &traffic, SimConfig base, int repetitions)
 {
-    std::vector<SimResult> batch;
-    for (int rep = 0; rep < repetitions; ++rep) {
-        SimConfig cfg = base;
-        cfg.load = 1.0;
-        cfg.seed = base.seed + 104729ULL * static_cast<std::uint64_t>(rep);
-        Simulator sim(fc, oracle, traffic, cfg);
-        batch.push_back(sim.run());
-    }
-    return average(batch);
+    TrafficFactory borrow = [&traffic]() {
+        return std::make_unique<BorrowedTraffic>(traffic);
+    };
+    return saturationThroughput(fc, oracle, borrow, base, repetitions,
+                                /*jobs=*/1);
+}
+
+SimResult
+saturationThroughput(const FoldedClos &fc, const UpDownOracle &oracle,
+                     const TrafficFactory &traffic, SimConfig base,
+                     int repetitions, int jobs)
+{
+    base.load = 1.0;
+    auto series = sweepOnEngine(fc, oracle, traffic, base, {1.0},
+                                repetitions, jobs);
+    return series.front();
 }
 
 std::vector<double>

@@ -3,13 +3,31 @@
  * Experiment drivers: offered-load sweeps and saturation throughput.
  *
  * These produce the latency/throughput series of Figures 8-10 and the
- * max-throughput-under-faults points of Figure 12.
+ * max-throughput-under-faults points of Figure 12.  Both are thin
+ * wrappers over the ExperimentEngine (src/exp/experiment.hpp): trial
+ * seeds come from deriveSeed(base.seed, point, rep) - a splitmix64
+ * chain with no collisions between points, reps or entry points
+ * (replacing the old base.seed + 7919*rep / + 104729*rep arithmetic,
+ * which aliased across the two) - and per-point aggregation reports the
+ * per-trial mean of every field.
+ *
+ * API change note (documented + tested): the legacy aggregator summed
+ * the packet counters (delivered/generated/suppressed/unroutable)
+ * across repetitions while averaging the rates, so counter fields
+ * silently meant "total over reps".  They now mean "per-trial mean,
+ * rounded", consistent with every other field.
+ *
+ * The Traffic& overloads borrow a caller-owned pattern and therefore
+ * run serially (a stateful Traffic must not be shared across worker
+ * threads).  Pass a TrafficFactory and a jobs count to run trials in
+ * parallel; results are bit-identical to the serial path.
  */
 #ifndef RFC_SIM_SWEEP_HPP
 #define RFC_SIM_SWEEP_HPP
 
 #include <vector>
 
+#include "exp/experiment.hpp"
 #include "sim/simulator.hpp"
 
 namespace rfc {
@@ -17,6 +35,7 @@ namespace rfc {
 /**
  * Run one simulation per offered load in @p loads, averaging
  * @p repetitions seeds per point (the paper averages >= 5).
+ * Serial (borrows @p traffic); see the factory overload for --jobs.
  */
 std::vector<SimResult> runLoadSweep(const FoldedClos &fc,
                                     const UpDownOracle &oracle,
@@ -26,13 +45,32 @@ std::vector<SimResult> runLoadSweep(const FoldedClos &fc,
                                     int repetitions = 1);
 
 /**
+ * Parallel load sweep: each trial constructs its own Traffic via
+ * @p traffic, and trials run on @p jobs threads (<= 0 = hardware
+ * concurrency).  Output is bit-identical for any jobs value.
+ */
+std::vector<SimResult> runLoadSweep(const FoldedClos &fc,
+                                    const UpDownOracle &oracle,
+                                    const TrafficFactory &traffic,
+                                    const SimConfig &base,
+                                    const std::vector<double> &loads,
+                                    int repetitions, int jobs);
+
+/**
  * Saturation (maximum accepted) throughput: simulate at offered load
- * 1.0 and report the accepted load.
+ * 1.0 and report the accepted load.  Serial (borrows @p traffic).
  */
 SimResult saturationThroughput(const FoldedClos &fc,
                                const UpDownOracle &oracle,
                                Traffic &traffic, SimConfig base,
                                int repetitions = 1);
+
+/** Parallel saturation throughput (factory per trial, jobs threads). */
+SimResult saturationThroughput(const FoldedClos &fc,
+                               const UpDownOracle &oracle,
+                               const TrafficFactory &traffic,
+                               SimConfig base, int repetitions,
+                               int jobs);
 
 /** Evenly spaced loads in [lo, hi] with @p points entries. */
 std::vector<double> loadRange(double lo, double hi, int points);

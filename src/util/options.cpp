@@ -74,4 +74,14 @@ Options::fullScale() const
     return env && std::string(env) == "1";
 }
 
+int
+Options::jobs() const
+{
+    if (has("jobs"))
+        return static_cast<int>(getInt("jobs", 0));
+    if (const char *env = std::getenv("RFC_JOBS"))
+        return std::stoi(env);
+    return 0;  // 0 = auto (hardware concurrency)
+}
+
 } // namespace rfc

@@ -41,6 +41,13 @@ class Options
     /** Paper-scale switch: --full flag or env RFC_FULL=1. */
     bool fullScale() const;
 
+    /**
+     * Worker threads for parallel experiment grids: --jobs N (or env
+     * RFC_JOBS).  Defaults to hardware concurrency; the deterministic
+     * engine guarantees identical results at any value.
+     */
+    int jobs() const;
+
   private:
     std::map<std::string, std::string> values_;
 };

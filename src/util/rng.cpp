@@ -89,4 +89,17 @@ Rng::split()
     return Rng(nextU64());
 }
 
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream, std::uint64_t rep)
+{
+    // Chain one splitmix64 round per coordinate; the odd multipliers
+    // keep stream/rep = 0 from collapsing onto the plain base hash.
+    std::uint64_t x = base;
+    std::uint64_t h = splitmix64(x);
+    x = h ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    h = splitmix64(x);
+    x = h ^ (0xbf58476d1ce4e5b9ULL * (rep + 1));
+    return splitmix64(x);
+}
+
 } // namespace rfc

@@ -69,6 +69,19 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Deterministic per-trial seed for parallel experiment grids.
+ *
+ * Hashes {base, stream, rep} through three chained splitmix64 rounds so
+ * that distinct coordinates give statistically independent seeds.  This
+ * replaces additive schemes like base + 7919*rep, whose arithmetic
+ * progressions collide across sweep points and between entry points
+ * (e.g. rep 104729/7919 aliasing).  @p stream identifies the grid point
+ * (network x traffic x load index), @p rep the repetition within it.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream,
+                         std::uint64_t rep);
+
 } // namespace rfc
 
 #endif // RFC_UTIL_RNG_HPP

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace rfc {
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
@@ -88,6 +90,20 @@ TablePrinter::printCsv(std::ostream &os) const
     emit(headers_);
     for (const auto &row : rows_)
         emit(row);
+}
+
+void
+TablePrinter::printJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginArray();
+    for (const auto &row : rows_) {
+        w.beginObject();
+        for (std::size_t c = 0; c < row.size(); ++c)
+            w.kv(headers_[c], row[c]);
+        w.endObject();
+    }
+    w.endArray();
 }
 
 } // namespace rfc

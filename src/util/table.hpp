@@ -40,6 +40,12 @@ class TablePrinter
     /** Print comma-separated values to @p os. */
     void printCsv(std::ostream &os) const;
 
+    /**
+     * Print as a JSON array of objects keyed by the headers (cells stay
+     * strings; numeric parsing is the consumer's choice).
+     */
+    void printJson(std::ostream &os) const;
+
     std::size_t rows() const { return rows_.size(); }
 
   private:

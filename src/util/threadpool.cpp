@@ -1,0 +1,63 @@
+#include "util/threadpool.hpp"
+
+namespace rfc {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 0)
+        threads = hardwareConcurrency() - 1;
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();  // serial pool: run inline
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+int
+ThreadPool::hardwareConcurrency()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ and drained
+            task = std::move(queue_.back());
+            queue_.pop_back();
+        }
+        task();
+    }
+}
+
+} // namespace rfc

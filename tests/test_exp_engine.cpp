@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the deterministic parallel experiment engine: seed
+ * derivation, bit-identical results at any --jobs value, and the
+ * counter-aggregation semantics of the legacy sweep API.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "clos/fat_tree.hpp"
+#include "exp/experiment.hpp"
+#include "routing/updown.hpp"
+#include "sim/sweep.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+namespace {
+
+SimConfig
+quickConfig()
+{
+    SimConfig cfg;
+    cfg.warmup = 100;
+    cfg.measure = 400;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(DeriveSeed, NoCollisionsAcrossStreamsAndReps)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base : {1ULL, 2ULL, 12345ULL}) {
+        for (std::uint64_t stream = 0; stream < 40; ++stream)
+            for (std::uint64_t rep = 0; rep < 40; ++rep)
+                seen.insert(deriveSeed(base, stream, rep));
+    }
+    EXPECT_EQ(seen.size(), 3u * 40u * 40u);
+}
+
+TEST(DeriveSeed, StreamAndRepAreNotInterchangeable)
+{
+    // The old base + small-prime * rep scheme aliased whenever two
+    // entry points incremented the same base; the splitmix chain keys
+    // each coordinate separately.
+    EXPECT_NE(deriveSeed(1, 2, 3), deriveSeed(1, 3, 2));
+    EXPECT_NE(deriveSeed(1, 0, 1), deriveSeed(2, 0, 0));
+}
+
+void
+expectSameMetric(const MetricStat &a, const MetricStat &b)
+{
+    // Bitwise equality: determinism, not tolerance, is the contract.
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.stddev, b.stddev);
+    EXPECT_EQ(a.ci95, b.ci95);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+}
+
+void
+expectSamePoint(const PointResult &a, const PointResult &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.reps, b.reps);
+    expectSameMetric(a.accepted, b.accepted);
+    expectSameMetric(a.avg_latency, b.avg_latency);
+    expectSameMetric(a.p50_latency, b.p50_latency);
+    expectSameMetric(a.p99_latency, b.p99_latency);
+    expectSameMetric(a.avg_hops, b.avg_hops);
+    expectSameMetric(a.delivered_packets, b.delivered_packets);
+    expectSameMetric(a.generated_packets, b.generated_packets);
+    expectSameMetric(a.suppressed_packets, b.suppressed_packets);
+    expectSameMetric(a.unroutable_packets, b.unroutable_packets);
+}
+
+TEST(ExperimentEngine, GridIsBitIdenticalAtJobs148)
+{
+    auto fc = buildCft(4, 2);
+    UpDownOracle oracle(fc);
+
+    ExperimentGrid grid;
+    grid.addNetwork("cft", fc, oracle);
+    grid.addTraffic("uniform");
+    grid.addTraffic("random-pairing");
+    grid.loads = {0.3, 0.9};
+    grid.base = quickConfig();
+    grid.repetitions = 3;
+
+    GridResult r1 = ExperimentEngine(1, 5).run(grid);
+    GridResult r4 = ExperimentEngine(4, 5).run(grid);
+    GridResult r8 = ExperimentEngine(8, 5).run(grid);
+
+    ASSERT_EQ(r1.points.size(), grid.numPoints());
+    ASSERT_EQ(r4.points.size(), r1.points.size());
+    ASSERT_EQ(r8.points.size(), r1.points.size());
+    for (std::size_t i = 0; i < r1.points.size(); ++i) {
+        expectSamePoint(r1.points[i], r4.points[i]);
+        expectSamePoint(r1.points[i], r8.points[i]);
+    }
+}
+
+TEST(ExperimentEngine, EmptyGridYieldsNoPoints)
+{
+    ExperimentEngine engine(4, 1);
+    ExperimentGrid grid;  // no networks, traffics or loads
+    EXPECT_EQ(engine.run(grid).points.size(), 0u);
+    EXPECT_EQ(engine.runPoints({}, 3).size(), 0u);
+}
+
+TEST(ExperimentEngine, StudyAndMapAreJobCountInvariant)
+{
+    auto fn = [](int, std::uint64_t seed) {
+        Rng rng(seed);
+        return rng.uniformReal();
+    };
+    auto s1 = ExperimentEngine(1, 9).study(3, 64, fn);
+    auto s8 = ExperimentEngine(8, 9).study(3, 64, fn);
+    EXPECT_EQ(s1.mean(), s8.mean());
+    EXPECT_EQ(s1.stddev(), s8.stddev());
+    EXPECT_EQ(s1.min(), s8.min());
+    EXPECT_EQ(s1.max(), s8.max());
+
+    auto echo = [](std::size_t, std::uint64_t seed) { return seed; };
+    EXPECT_EQ(ExperimentEngine(1, 9).map<std::uint64_t>(7, 100, echo),
+              ExperimentEngine(8, 9).map<std::uint64_t>(7, 100, echo));
+}
+
+TEST(ExperimentEngine, TrialExceptionReachesTheCaller)
+{
+    ExperimentEngine engine(4, 1);
+    EXPECT_THROW(engine.study(0, 32,
+                              [](int, std::uint64_t) -> double {
+                                  throw std::runtime_error("trial");
+                              }),
+                 std::runtime_error);
+}
+
+TEST(Sweep, LegacyCountersReportPerTrialMeansNotSums)
+{
+    // API change (documented in sweep.hpp): the old aggregator summed
+    // delivered/generated/suppressed counters across repetitions while
+    // averaging the rates; counters are now per-trial means too.
+    auto fc = buildCft(4, 2);
+    UpDownOracle oracle(fc);
+    auto cfg = quickConfig();
+
+    UniformTraffic t1, t3;
+    auto one = runLoadSweep(fc, oracle, t1, cfg, {0.5}, 1);
+    auto three = runLoadSweep(fc, oracle, t3, cfg, {0.5}, 3);
+    ASSERT_EQ(one.size(), 1u);
+    ASSERT_EQ(three.size(), 1u);
+    ASSERT_GT(one[0].delivered_packets, 0);
+    // A 3-rep sweep of the same scenario must report a similar counter
+    // magnitude, not a 3x total.
+    EXPECT_LT(three[0].delivered_packets,
+              2 * one[0].delivered_packets);
+    EXPECT_GT(three[0].delivered_packets,
+              one[0].delivered_packets / 2);
+}
+
+TEST(Sweep, FactoryOverloadMatchesBorrowedTrafficBitForBit)
+{
+    auto fc = buildCft(4, 2);
+    UpDownOracle oracle(fc);
+    auto cfg = quickConfig();
+    std::vector<double> loads{0.2, 0.7};
+
+    UniformTraffic borrowed;
+    auto serial = runLoadSweep(fc, oracle, borrowed, cfg, loads, 2);
+    auto parallel = runLoadSweep(fc, oracle, namedTraffic("uniform"),
+                                 cfg, loads, 2, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].offered, parallel[i].offered);
+        EXPECT_EQ(serial[i].accepted, parallel[i].accepted);
+        EXPECT_EQ(serial[i].avg_latency, parallel[i].avg_latency);
+        EXPECT_EQ(serial[i].avg_hops, parallel[i].avg_hops);
+        EXPECT_EQ(serial[i].delivered_packets,
+                  parallel[i].delivered_packets);
+        EXPECT_EQ(serial[i].generated_packets,
+                  parallel[i].generated_packets);
+    }
+}
+
+TEST(Sweep, SaturationThroughputAgreesAcrossOverloads)
+{
+    auto fc = buildCft(4, 2);
+    UpDownOracle oracle(fc);
+    auto cfg = quickConfig();
+
+    UniformTraffic borrowed;
+    auto serial = saturationThroughput(fc, oracle, borrowed, cfg, 2);
+    auto parallel = saturationThroughput(
+        fc, oracle, namedTraffic("uniform"), cfg, 2, 8);
+    EXPECT_EQ(serial.accepted, parallel.accepted);
+    EXPECT_EQ(serial.offered, 1.0);
+}
+
+} // namespace
+} // namespace rfc

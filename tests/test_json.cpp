@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the streaming JSON writer and TablePrinter JSON output.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace rfc {
+namespace {
+
+TEST(JsonWriter, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, FormatDoubleRoundTrips)
+{
+    for (double v : {0.1, 1.0 / 3.0, 2.5e-8, 9.87654321e12,
+                     0.09828014184397163, -1.25}) {
+        EXPECT_EQ(std::stod(JsonWriter::formatDouble(v)), v)
+            << JsonWriter::formatDouble(v);
+    }
+    // Integral values take the short form.
+    EXPECT_EQ(JsonWriter::formatDouble(5.0), "5");
+    EXPECT_EQ(JsonWriter::formatDouble(-3.0), "-3");
+    EXPECT_EQ(JsonWriter::formatDouble(0.0), "0");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginArray();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.endArray();
+    EXPECT_NE(os.str().find("null"), std::string::npos);
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+    EXPECT_EQ(os.str().find("inf"), std::string::npos);
+}
+
+TEST(JsonWriter, NestedDocumentHasCommasAndIndent)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.kv("name", "run");
+    w.kv("trials", static_cast<std::int64_t>(40));
+    w.kv("ok", true);
+    w.key("points");
+    w.beginArray();
+    w.beginObject();
+    w.kv("load", 0.5);
+    w.endObject();
+    w.beginObject();
+    w.kv("load", 1.0);
+    w.endObject();
+    w.endArray();
+    w.key("none");
+    w.null();
+    w.endObject();
+
+    const std::string expected = "{\n"
+                                 "  \"name\": \"run\",\n"
+                                 "  \"trials\": 40,\n"
+                                 "  \"ok\": true,\n"
+                                 "  \"points\": [\n"
+                                 "    {\n"
+                                 "      \"load\": 0.5\n"
+                                 "    },\n"
+                                 "    {\n"
+                                 "      \"load\": 1\n"
+                                 "    }\n"
+                                 "  ],\n"
+                                 "  \"none\": null\n"
+                                 "}\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(JsonWriter, EmptyContainersStayOnOneLine)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.key("empty");
+    w.beginArray();
+    w.endArray();
+    w.endObject();
+    EXPECT_NE(os.str().find("[]"), std::string::npos);
+}
+
+TEST(TablePrinter, PrintJsonEmitsOneObjectPerRow)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "2.5"});
+    std::ostringstream os;
+    t.printJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"name\": \"alpha\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\": \"beta\""), std::string::npos);
+    EXPECT_NE(out.find("\"value\""), std::string::npos);
+    // Two row objects inside one array.
+    EXPECT_EQ(out.front(), '[');
+}
+
+} // namespace
+} // namespace rfc

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the worker pool and data-parallel primitives.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/threadpool.hpp"
+
+namespace rfc {
+namespace {
+
+TEST(ThreadPool, HardwareConcurrencyHasFloorOfOne)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1);
+}
+
+TEST(ThreadPool, SizeMatchesRequestedWorkers)
+{
+    ThreadPool p0(0);
+    EXPECT_EQ(p0.size(), 0);
+    ThreadPool p3(3);
+    EXPECT_EQ(p3.size(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsSubmittedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, SerialPoolRunsSubmittedTasksInline)
+{
+    ThreadPool pool(0);
+    int ran = 0;
+    pool.submit([&ran] { ++ran; });
+    EXPECT_EQ(ran, 1);  // no workers: submit() executes immediately
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    parallelFor(pool, 0, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce)
+{
+    // Far more items than threads: exercises chunked hand-out.
+    const std::size_t n = 10000;
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> visits(n);
+    parallelFor(pool, n,
+                [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, SerialPoolStillCoversTheRange)
+{
+    ThreadPool pool(0);
+    std::vector<int> visits(257, 0);
+    parallelFor(pool, visits.size(),
+                [&](std::size_t i) { visits[i] += 1; });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 257);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(parallelFor(pool, 1000,
+                             [](std::size_t i) {
+                                 if (i == 37)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, PoolIsReusableAfterAnException)
+{
+    ThreadPool pool(2);
+    try {
+        parallelFor(pool, 100, [](std::size_t) {
+            throw std::runtime_error("boom");
+        });
+    } catch (const std::runtime_error &) {
+    }
+    std::atomic<int> ran{0};
+    parallelFor(pool, 100, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ParallelMap, ResultsAreIndexedNotCompletionOrdered)
+{
+    ThreadPool pool(4);
+    auto out = parallelMap<std::size_t>(
+        pool, 1000, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, IdenticalAcrossPoolSizes)
+{
+    auto run = [](int threads) {
+        ThreadPool pool(threads);
+        return parallelMap<double>(pool, 777, [](std::size_t i) {
+            return static_cast<double>(i) * 0.3 + 1.0;
+        });
+    };
+    auto serial = run(0);
+    EXPECT_EQ(serial, run(3));
+    EXPECT_EQ(serial, run(8));
+}
+
+} // namespace
+} // namespace rfc
