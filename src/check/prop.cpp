@@ -1,0 +1,157 @@
+#include "check/prop.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "clos/faults.hpp"
+#include "clos/rfc.hpp"
+
+namespace rfc {
+
+std::string
+PropResult::report() const
+{
+    if (passed)
+        return {};
+    std::ostringstream os;
+    os << "property failed at case " << failing_case << " (seed="
+       << failing_seed << ", size=" << failing_size << ", "
+       << shrink_steps << " shrinks)";
+    if (!counterexample.empty())
+        os << "\n  counterexample: " << counterexample;
+    if (!message.empty())
+        os << "\n  violation: " << message;
+    os << "\n  replay: replayOne(" << failing_seed << ", "
+       << failing_size << ", gen, prop)";
+    return os.str();
+}
+
+std::uint64_t
+propCaseSeed(std::uint64_t base_seed, int case_index)
+{
+    // Stream id 'prop' keeps property seeds disjoint from experiment
+    // grids using the same base.
+    return deriveSeed(base_seed, 0x70726f70ULL,
+                      static_cast<std::uint64_t>(case_index));
+}
+
+TopoParams
+genTopoParams(Rng &rng, int size)
+{
+    TopoParams p;
+    // Radix 4..(4 + size), even; levels 2..4 weighted toward 2-3 (the
+    // paper's scenarios); n1 even, capped so the instance stays small
+    // enough for hundreds of cases.
+    int max_half = 2 + std::min(size, 16) / 2;
+    p.radix = 2 * static_cast<int>(rng.uniformInRange(2, max_half));
+    p.levels = static_cast<int>(rng.uniformInRange(2, size < 6 ? 2 : 4));
+    int max_pairs = std::max(2, std::min(2 + size, 40));
+    p.n1 = 2 * static_cast<int>(rng.uniformInRange(1, max_pairs));
+    // The builder requires n1 >= radix (a radix-R top switch has R down
+    // ports, so level l-1 must offer at least R switches to land on).
+    p.n1 = std::max(p.n1, p.radix);
+    p.wiring_seed = rng.nextU64();
+    return p;
+}
+
+std::vector<TopoParams>
+shrinkTopoParams(const TopoParams &p)
+{
+    std::vector<TopoParams> out;
+    auto push = [&](TopoParams q) {
+        if (q.radix >= 4 && q.levels >= 2 && q.n1 >= 2 &&
+            q.n1 >= q.radix)
+            out.push_back(q);
+    };
+    // Halve n1 first (the dominant size), then levels, then radix.
+    if (p.n1 > 2) {
+        TopoParams q = p;
+        q.n1 = std::max(2, (p.n1 / 2) & ~1);
+        push(q);
+        q = p;
+        q.n1 = p.n1 - 2;
+        push(q);
+    }
+    if (p.levels > 2) {
+        TopoParams q = p;
+        q.levels = p.levels - 1;
+        push(q);
+    }
+    if (p.radix > 4) {
+        TopoParams q = p;
+        q.radix = p.radix - 2;
+        push(q);
+    }
+    return out;
+}
+
+std::string
+describeTopoParams(const TopoParams &p)
+{
+    std::ostringstream os;
+    os << "radix=" << p.radix << " levels=" << p.levels << " n1=" << p.n1
+       << " wiring_seed=" << p.wiring_seed;
+    return os.str();
+}
+
+FoldedClos
+materializeTopo(const TopoParams &p)
+{
+    Rng rng(p.wiring_seed);
+    return buildRfcUnchecked(p.radix, p.levels, p.n1, rng);
+}
+
+FaultPlan
+genFaultPlan(Rng &rng, int size)
+{
+    FaultPlan f;
+    f.topo = genTopoParams(rng, size);
+    // Between 1 link and ~25% of the wires (wire count known only after
+    // materialization; clamp there).
+    f.faults = 1 + static_cast<int>(rng.uniform(
+                       static_cast<std::uint64_t>(1 + size)));
+    f.fault_seed = rng.nextU64();
+    return f;
+}
+
+std::vector<FaultPlan>
+shrinkFaultPlan(const FaultPlan &p)
+{
+    std::vector<FaultPlan> out;
+    for (const TopoParams &t : shrinkTopoParams(p.topo)) {
+        FaultPlan q = p;
+        q.topo = t;
+        out.push_back(q);
+    }
+    if (p.faults > 1) {
+        FaultPlan q = p;
+        q.faults = p.faults / 2;
+        out.push_back(q);
+        q.faults = p.faults - 1;
+        out.push_back(q);
+    }
+    return out;
+}
+
+std::string
+describeFaultPlan(const FaultPlan &p)
+{
+    std::ostringstream os;
+    os << describeTopoParams(p.topo) << " faults=" << p.faults
+       << " fault_seed=" << p.fault_seed;
+    return os.str();
+}
+
+FoldedClos
+materializeFaulted(const FaultPlan &p)
+{
+    FoldedClos fc = materializeTopo(p.topo);
+    Rng rng(p.fault_seed);
+    auto max_cut = static_cast<std::size_t>(fc.numWires() / 4);
+    std::size_t cut = std::min<std::size_t>(
+        static_cast<std::size_t>(p.faults), std::max<std::size_t>(1, max_cut));
+    removeRandomLinks(fc, cut, rng);
+    return fc;
+}
+
+} // namespace rfc

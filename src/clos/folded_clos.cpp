@@ -59,6 +59,13 @@ FoldedClos::removeLink(int lower, int upper)
     return true;
 }
 
+int
+FoldedClos::countLink(int lower, int upper) const
+{
+    return static_cast<int>(
+        std::count(up_[lower].begin(), up_[lower].end(), upper));
+}
+
 std::vector<ClosLink>
 FoldedClos::links() const
 {

@@ -103,6 +103,13 @@ class FoldedClos
      */
     bool removeLink(int lower, int upper);
 
+    /**
+     * Multiplicity of the link lower-upper (0 when absent).  The
+     * generators emit simple wirings, so the invariant checkers treat
+     * any multiplicity above 1 as a violation.
+     */
+    int countLink(int lower, int upper) const;
+
     /** All inter-switch links. */
     std::vector<ClosLink> links() const;
 

@@ -38,6 +38,23 @@ ForwardingTables::ForwardingTables(const FoldedClos &fc,
     }
 }
 
+void
+ForwardingTables::setPorts(int sw, int dest_leaf,
+                           std::vector<std::uint16_t> ports)
+{
+    auto &entry =
+        entries_[static_cast<std::size_t>(sw) * leaves_ + dest_leaf];
+    if (!entry.empty()) {
+        --populated_;
+        total_ports_ -= static_cast<long long>(entry.size());
+    }
+    entry = std::move(ports);
+    if (!entry.empty()) {
+        ++populated_;
+        total_ports_ += static_cast<long long>(entry.size());
+    }
+}
+
 long long
 ForwardingTables::memoryBytes() const
 {

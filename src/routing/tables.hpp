@@ -43,6 +43,14 @@ class ForwardingTables
                         dest_leaf];
     }
 
+    /**
+     * Overwrite one entry's port list (fault-injection / mutation
+     * hook: lets experiments and the checker tests model a corrupted
+     * or stale table entry).  Keeps populatedEntries()/totalPorts()
+     * consistent.
+     */
+    void setPorts(int sw, int dest_leaf, std::vector<std::uint16_t> ports);
+
     /** Number of (switch, destination) entries with at least one port. */
     long long populatedEntries() const { return populated_; }
 

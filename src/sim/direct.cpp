@@ -104,6 +104,103 @@ DirectSimulator::buildStructures()
     cand_ivc_.assign(max_local, -1);
     cand_count_.assign(max_local, 0);
     cand_stamp_.assign(max_local, -1);
+
+    if constexpr (kGuards)
+        slots_held_.assign(ivcs, 0);
+}
+
+void
+DirectSimulator::guardScan(long long now)
+{
+    if constexpr (kGuards) {
+        const int V = cfg_.vcs;
+        const int cap = cfg_.buf_packets;
+        for (std::int64_t gid = 0; gid < total_ports_; ++gid) {
+            std::int64_t peer = out_peer_ivc_base_[gid];
+            if (peer < 0)
+                continue;
+            for (int v = 0; v < V; ++v) {
+                int c = out_credits_[gid * V + v];
+                check_.countChecks();
+                if (c < 0)
+                    check_.report("credit-negative", now,
+                                  port_owner_[gid], v,
+                                  "out port " + std::to_string(gid));
+                else if (c > cap)
+                    check_.report("credit-overflow", now,
+                                  port_owner_[gid], v,
+                                  "out port " + std::to_string(gid) +
+                                      " credits " + std::to_string(c) +
+                                      " > cap " + std::to_string(cap));
+                if (c + slots_held_[peer + v] != cap)
+                    check_.report(
+                        "credit-conservation", now, port_owner_[gid], v,
+                        "out port " + std::to_string(gid) + ": credits " +
+                            std::to_string(c) + " + held " +
+                            std::to_string(slots_held_[peer + v]) +
+                            " != cap " + std::to_string(cap));
+            }
+        }
+        for (long long t = 0; t < num_terms_; ++t) {
+            int sw = static_cast<int>(t / hosts_);
+            std::int64_t iport =
+                port_off_[sw] + n_net_[sw] + (t % hosts_);
+            for (int v = 0; v < V; ++v) {
+                int c = inj_credits_[t * V + v];
+                check_.countChecks();
+                if (c < 0 || c > cap)
+                    check_.report("inj-credit-bounds", now, sw, v,
+                                  "terminal " + std::to_string(t));
+                if (c + slots_held_[iport * V + v] != cap)
+                    check_.report("inj-credit-conservation", now, sw, v,
+                                  "terminal " + std::to_string(t));
+            }
+        }
+        for (std::int64_t ivc = 0;
+             ivc < static_cast<std::int64_t>(q_count_.size()); ++ivc) {
+            check_.countChecks();
+            if (q_count_[ivc] > cap)
+                check_.report(
+                    "vc-occupancy", now,
+                    port_owner_[ivc / V], static_cast<int>(ivc % V),
+                    "queue depth " + std::to_string(q_count_[ivc]) +
+                        " > cap " + std::to_string(cap));
+        }
+    }
+}
+
+void
+DirectSimulator::guardCycle(long long now)
+{
+    if constexpr (kGuards) {
+        auto in_flight = static_cast<long long>(pool_.size()) -
+                         static_cast<long long>(free_pkts_.size());
+        check_.countChecks(2);
+        if (injected_pkts_ != in_flight + ejected_pkts_)
+            check_.report("packet-conservation", now, -1, -1,
+                          "injected " + std::to_string(injected_pkts_) +
+                              " != in-flight " + std::to_string(in_flight) +
+                              " + ejected " +
+                              std::to_string(ejected_pkts_));
+        if (generated_ !=
+            queued_pkts_ + injected_pkts_ + suppressed_ + unroutable_)
+            check_.report(
+                "generation-accounting", now, -1, -1,
+                "generated " + std::to_string(generated_) +
+                    " != queued " + std::to_string(queued_pkts_) +
+                    " + injected " + std::to_string(injected_pkts_) +
+                    " + suppressed " + std::to_string(suppressed_) +
+                    " + unroutable " + std::to_string(unroutable_));
+        long long watchdog = 256 + 64LL * cfg_.pkt_phits;
+        check_.countChecks();
+        if (in_flight > 0 && now - last_progress_ > watchdog)
+            check_.report("no-progress", now, -1, -1,
+                          std::to_string(in_flight) +
+                              " packets in flight, none moved since cycle " +
+                              std::to_string(last_progress_));
+        if ((now & 255) == 0)
+            guardScan(now);
+    }
 }
 
 std::int32_t
@@ -151,12 +248,31 @@ DirectSimulator::processReleases(long long now)
     auto &slot = release_wheel_[now % wheel_size_];
     for (const Release &r : slot) {
         if (r.feeder >= 0) {
-            ++out_credits_[static_cast<std::int64_t>(r.feeder) *
-                               cfg_.vcs +
-                           r.vc];
+            std::int16_t c =
+                ++out_credits_[static_cast<std::int64_t>(r.feeder) *
+                                   cfg_.vcs +
+                               r.vc];
+            if constexpr (kGuards) {
+                check_.countChecks();
+                if (c > cfg_.buf_packets)
+                    check_.report("credit-overflow", now,
+                                  port_owner_[r.feeder], r.vc,
+                                  "release beyond buffer capacity");
+                --slots_held_[out_peer_ivc_base_[r.feeder] + r.vc];
+            }
         } else {
             std::int64_t term = -static_cast<std::int64_t>(r.feeder) - 1;
-            ++inj_credits_[term * cfg_.vcs + r.vc];
+            std::int8_t c = ++inj_credits_[term * cfg_.vcs + r.vc];
+            if constexpr (kGuards) {
+                check_.countChecks();
+                int sw = static_cast<int>(term / hosts_);
+                if (c > cfg_.buf_packets)
+                    check_.report("credit-overflow", now, sw, r.vc,
+                                  "terminal release beyond capacity");
+                std::int64_t iport =
+                    port_off_[sw] + n_net_[sw] + (term % hosts_);
+                --slots_held_[iport * cfg_.vcs + r.vc];
+            }
         }
     }
     slot.clear();
@@ -192,6 +308,8 @@ DirectSimulator::processGeneration(long long now)
                 src_dest_[base + k] = static_cast<std::int32_t>(dest);
                 src_gen_[base + k] = static_cast<std::int32_t>(now);
                 ++sq_count_[t];
+                if constexpr (kGuards)
+                    ++queued_pkts_;
                 scheduleInjection(t, now);
             }
         } else {
@@ -239,6 +357,11 @@ DirectSimulator::processInjection(long long now)
         sq_head_[t] =
             static_cast<std::int16_t>((k + 1) % cfg_.source_queue);
         --sq_count_[t];
+        if constexpr (kGuards) {
+            --queued_pkts_;
+            ++injected_pkts_;
+            last_progress_ = now;
+        }
 
         int src_sw = t / hosts_;
         int dst_sw = dest / hosts_;
@@ -265,6 +388,13 @@ DirectSimulator::processInjection(long long now)
                 nonempty_[src_sw].size());
             nonempty_[src_sw].push_back(static_cast<std::uint16_t>(
                 (iport - port_off_[src_sw]) * V));
+        }
+        if constexpr (kGuards) {
+            ++slots_held_[gi];
+            check_.countChecks();
+            if (q_count_[gi] > cfg_.buf_packets)
+                check_.report("vc-occupancy", now, src_sw, 0,
+                              "injection overfilled terminal buffer");
         }
         --inj_credits_[static_cast<std::int64_t>(t) * V];
         inj_busy_[t] = now + cfg_.pkt_phits;
@@ -373,7 +503,18 @@ DirectSimulator::arbitrateSwitch(int s, long long now)
                 hop_sum_ += pp.hop;
             }
             free_pkts_.push_back(pkt);
+            if constexpr (kGuards) {
+                ++ejected_pkts_;
+                last_progress_ = now;
+            }
         } else {
+            if constexpr (kGuards) {
+                check_.countChecks();
+                if (out_credits_[o_gid * V + out_vc] <= 0)
+                    check_.report("credit-negative", now, s, out_vc,
+                                  "forwarded without credit on out port " +
+                                      std::to_string(o_gid));
+            }
             --out_credits_[o_gid * V + out_vc];
             std::int64_t di = peer + out_vc;
             int dpos = (q_head_[di] + q_count_[di]) % cap;
@@ -390,6 +531,14 @@ DirectSimulator::arbitrateSwitch(int s, long long now)
             }
             ++pp.hop;
             activateSwitch(dest_sw);
+            if constexpr (kGuards) {
+                ++slots_held_[di];
+                check_.countChecks();
+                if (q_count_[di] > cap)
+                    check_.report("vc-occupancy", now, dest_sw, out_vc,
+                                  "forward overfilled input buffer");
+                last_progress_ = now;
+            }
         }
     }
 
@@ -428,6 +577,9 @@ DirectSimulator::run()
                 activateSwitch(s);
         }
         active_scratch_.clear();
+
+        if constexpr (kGuards)
+            guardCycle(now);
     }
 
     SimResult r;

@@ -59,6 +59,12 @@ class DirectSimulator
     /** Run warm-up plus measurement and return the metrics. */
     SimResult run();
 
+    /**
+     * Runtime invariant guard results (populated only when built with
+     * -DRFC_CHECK_INVARIANTS=ON; the guards compile out otherwise).
+     */
+    const CheckContext &checkContext() const { return check_; }
+
   private:
     void buildStructures();
     void processReleases(long long now);
@@ -140,6 +146,17 @@ class DirectSimulator
     long long unroutable_ = 0;
     double lat_sum_ = 0.0, hop_sum_ = 0.0;
     long long delivered_phits_ = 0;
+
+    // --- runtime invariant guards (see sim/simulator.hpp) ------------
+    static constexpr bool kGuards = invariantChecksEnabled();
+    CheckContext check_;
+    long long injected_pkts_ = 0;
+    long long ejected_pkts_ = 0;
+    long long queued_pkts_ = 0;
+    long long last_progress_ = 0;
+    std::vector<std::int32_t> slots_held_;  //!< per ivc, occupied slots
+    void guardCycle(long long now);
+    void guardScan(long long now);
 };
 
 } // namespace rfc

@@ -159,6 +159,114 @@ Simulator::buildStructures()
     cand_ivc_.assign(max_local_ports, -1);
     cand_count_.assign(max_local_ports, 0);
     cand_stamp_.assign(max_local_ports, -1);
+
+    if constexpr (kGuards)
+        slots_held_.assign(ivcs, 0);
+}
+
+void
+Simulator::guardScan(long long now)
+{
+    if constexpr (kGuards) {
+        const int V = cfg_.vcs;
+        const int cap = cfg_.buf_packets;
+        // Inter-switch credits: each out VC's credits plus the slots
+        // currently held at its peer input VC must equal the buffer
+        // capacity, and both must stay within bounds.
+        for (std::int64_t gid = 0; gid < total_ports_; ++gid) {
+            std::int64_t peer = out_peer_ivc_base_[gid];
+            if (peer < 0)
+                continue;
+            for (int v = 0; v < V; ++v) {
+                int c = out_credits_[gid * V + v];
+                check_.countChecks();
+                if (c < 0)
+                    check_.report("credit-negative", now,
+                                  port_owner_[gid], v,
+                                  "out port " + std::to_string(gid));
+                else if (c > cap)
+                    check_.report("credit-overflow", now,
+                                  port_owner_[gid], v,
+                                  "out port " + std::to_string(gid) +
+                                      " credits " + std::to_string(c) +
+                                      " > cap " + std::to_string(cap));
+                if (c + slots_held_[peer + v] != cap)
+                    check_.report(
+                        "credit-conservation", now, port_owner_[gid], v,
+                        "out port " + std::to_string(gid) + ": credits " +
+                            std::to_string(c) + " + held " +
+                            std::to_string(slots_held_[peer + v]) +
+                            " != cap " + std::to_string(cap));
+            }
+        }
+        // Injection credits against the terminal in-port VCs.
+        for (long long t = 0; t < num_terms_; ++t) {
+            int leaf = static_cast<int>(t / tpl_);
+            std::int64_t iport =
+                iport_off_[leaf] + n_up_[leaf] + (t % tpl_);
+            for (int v = 0; v < V; ++v) {
+                int c = inj_credits_[t * V + v];
+                check_.countChecks();
+                if (c < 0 || c > cap)
+                    check_.report("inj-credit-bounds", now, leaf, v,
+                                  "terminal " + std::to_string(t));
+                if (c + slots_held_[iport * V + v] != cap)
+                    check_.report("inj-credit-conservation", now, leaf, v,
+                                  "terminal " + std::to_string(t));
+            }
+        }
+        // VC occupancy bounds.
+        for (std::int64_t ivc = 0;
+             ivc < static_cast<std::int64_t>(q_count_.size()); ++ivc) {
+            check_.countChecks();
+            if (q_count_[ivc] > cap)
+                check_.report(
+                    "vc-occupancy", now,
+                    port_owner_[ivc / V], static_cast<int>(ivc % V),
+                    "queue depth " + std::to_string(q_count_[ivc]) +
+                        " > cap " + std::to_string(cap));
+        }
+    }
+}
+
+void
+Simulator::guardCycle(long long now)
+{
+    if constexpr (kGuards) {
+        // Packet conservation: every packet entered into the network is
+        // either still in flight (pool slot in use) or was ejected.
+        auto in_flight = static_cast<long long>(pool_.size()) -
+                         static_cast<long long>(free_pkts_.size());
+        check_.countChecks(2);
+        if (injected_pkts_ != in_flight + ejected_pkts_)
+            check_.report("packet-conservation", now, -1, -1,
+                          "injected " + std::to_string(injected_pkts_) +
+                              " != in-flight " + std::to_string(in_flight) +
+                              " + ejected " +
+                              std::to_string(ejected_pkts_));
+        // Source-queue accounting: generated packets are queued,
+        // injected, suppressed or unroutable - nothing vanishes.
+        if (generated_ !=
+            queued_pkts_ + injected_pkts_ + suppressed_ + unroutable_)
+            check_.report(
+                "generation-accounting", now, -1, -1,
+                "generated " + std::to_string(generated_) +
+                    " != queued " + std::to_string(queued_pkts_) +
+                    " + injected " + std::to_string(injected_pkts_) +
+                    " + suppressed " + std::to_string(suppressed_) +
+                    " + unroutable " + std::to_string(unroutable_));
+        // No-progress watchdog: packets in flight but nothing moved for
+        // far longer than any legal busy/credit stall can last.
+        long long watchdog = 256 + 64LL * cfg_.pkt_phits;
+        check_.countChecks();
+        if (in_flight > 0 && now - last_progress_ > watchdog)
+            check_.report("no-progress", now, -1, -1,
+                          std::to_string(in_flight) +
+                              " packets in flight, none moved since cycle " +
+                              std::to_string(last_progress_));
+        if ((now & 255) == 0)
+            guardScan(now);
+    }
 }
 
 std::int32_t
@@ -210,11 +318,31 @@ Simulator::processReleases(long long now)
     auto &slot = release_wheel_[now % wheel_size_];
     for (const Release &r : slot) {
         if (r.feeder >= 0) {
-            ++out_credits_[static_cast<std::int64_t>(r.feeder) * cfg_.vcs +
-                           r.vc];
+            std::int16_t c =
+                ++out_credits_[static_cast<std::int64_t>(r.feeder) *
+                                   cfg_.vcs +
+                               r.vc];
+            if constexpr (kGuards) {
+                check_.countChecks();
+                if (c > cfg_.buf_packets)
+                    check_.report("credit-overflow", now,
+                                  port_owner_[r.feeder], r.vc,
+                                  "release beyond buffer capacity");
+                --slots_held_[out_peer_ivc_base_[r.feeder] + r.vc];
+            }
         } else {
             std::int64_t term = -static_cast<std::int64_t>(r.feeder) - 1;
-            ++inj_credits_[term * cfg_.vcs + r.vc];
+            std::int8_t c = ++inj_credits_[term * cfg_.vcs + r.vc];
+            if constexpr (kGuards) {
+                check_.countChecks();
+                int leaf = static_cast<int>(term / tpl_);
+                if (c > cfg_.buf_packets)
+                    check_.report("credit-overflow", now, leaf, r.vc,
+                                  "terminal release beyond capacity");
+                std::int64_t iport =
+                    iport_off_[leaf] + n_up_[leaf] + (term % tpl_);
+                --slots_held_[iport * cfg_.vcs + r.vc];
+            }
         }
     }
     slot.clear();
@@ -250,6 +378,8 @@ Simulator::processGeneration(long long now)
                 src_dest_[base + k] = static_cast<std::int32_t>(dest);
                 src_gen_[base + k] = static_cast<std::int32_t>(now);
                 ++sq_count_[t];
+                if constexpr (kGuards)
+                    ++queued_pkts_;
                 scheduleInjection(t, now);
             }
         } else {
@@ -343,6 +473,11 @@ Simulator::processInjection(long long now)
         std::int32_t gen = src_gen_[base + k];
         sq_head_[t] = static_cast<std::int16_t>((k + 1) % cfg_.source_queue);
         --sq_count_[t];
+        if constexpr (kGuards) {
+            --queued_pkts_;
+            ++injected_pkts_;
+            last_progress_ = now;
+        }
 
         std::int32_t pkt = allocPkt();
         pool_[pkt].dest_leaf = dest / tpl_;
@@ -364,6 +499,13 @@ Simulator::processInjection(long long now)
                 static_cast<std::int32_t>(nonempty_[leaf].size());
             nonempty_[leaf].push_back(static_cast<std::uint16_t>(
                 (iport - iport_off_[leaf]) * V + best_vc));
+        }
+        if constexpr (kGuards) {
+            ++slots_held_[gi];
+            check_.countChecks();
+            if (q_count_[gi] > cfg_.buf_packets)
+                check_.report("vc-occupancy", now, leaf, best_vc,
+                              "injection overfilled terminal buffer");
         }
         --inj_credits_[static_cast<std::int64_t>(t) * V + best_vc];
         inj_busy_[t] = now + cfg_.pkt_phits;
@@ -545,7 +687,18 @@ Simulator::arbitrateSwitch(int s, long long now)
                 hop_sum_ += pool_[pkt].hops;
             }
             freePkt(pkt);
+            if constexpr (kGuards) {
+                ++ejected_pkts_;
+                last_progress_ = now;
+            }
         } else {
+            if constexpr (kGuards) {
+                check_.countChecks();
+                if (out_credits_[o_gid * V + out_vc] <= 0)
+                    check_.report("credit-negative", now, s, out_vc,
+                                  "forwarded without credit on out port " +
+                                      std::to_string(o_gid));
+            }
             --out_credits_[o_gid * V + out_vc];
             std::int64_t di = peer + out_vc;
             int dpos = (q_head_[di] + q_count_[di]) % cap;
@@ -562,6 +715,14 @@ Simulator::arbitrateSwitch(int s, long long now)
             }
             ++pool_[pkt].hops;
             activateSwitch(dest_sw);
+            if constexpr (kGuards) {
+                ++slots_held_[di];
+                check_.countChecks();
+                if (q_count_[di] > cap)
+                    check_.report("vc-occupancy", now, dest_sw, out_vc,
+                                  "forward overfilled input buffer");
+                last_progress_ = now;
+            }
         }
     }
 
@@ -605,6 +766,9 @@ Simulator::run()
                 activateSwitch(s);
         }
         active_scratch_.clear();
+
+        if constexpr (kGuards)
+            guardCycle(now);
     }
 
     SimResult r;

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/guard.hpp"
 #include "clos/folded_clos.hpp"
 #include "routing/updown.hpp"
 #include "sim/traffic.hpp"
@@ -132,6 +133,13 @@ class Simulator
 
     /** Run warm-up plus measurement and return the metrics. */
     SimResult run();
+
+    /**
+     * Runtime invariant guard results (populated only when the library
+     * is built with -DRFC_CHECK_INVARIANTS=ON; otherwise the guards
+     * compile out and this context stays empty).
+     */
+    const CheckContext &checkContext() const { return check_; }
 
   private:
     void buildStructures();
@@ -239,6 +247,21 @@ class Simulator
     double lat_sum_ = 0.0, hop_sum_ = 0.0;
     long long delivered_phits_ = 0;
     LatencyHistogram lat_hist_;
+
+    // --- runtime invariant guards ------------------------------------
+    // Every use sits behind `if constexpr (kGuards)`, so with the
+    // RFC_CHECK_INVARIANTS option OFF the guards compile out entirely.
+    static constexpr bool kGuards = invariantChecksEnabled();
+    CheckContext check_;
+    long long injected_pkts_ = 0;  //!< packets entered into the network
+    long long ejected_pkts_ = 0;   //!< packets delivered (pool freed)
+    long long queued_pkts_ = 0;    //!< packets waiting in source queues
+    long long last_progress_ = 0;  //!< last cycle any packet moved
+    std::vector<std::int32_t> slots_held_;  //!< per ivc, occupied slots
+    /** Per-cycle conservation + watchdog; full scans every 256 cycles. */
+    void guardCycle(long long now);
+    /** Full credit / occupancy conservation sweep. */
+    void guardScan(long long now);
 };
 
 } // namespace rfc

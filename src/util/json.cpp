@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace rfc {
 
@@ -36,8 +37,19 @@ JsonWriter::separate()
 }
 
 void
+JsonWriter::requireValueContext(const char *what)
+{
+    // A value (or nested container) is legal at the top level, inside
+    // an array, or inside an object right after key().
+    if (!stack_.empty() && !stack_.back().array && !pending_key_)
+        throw std::logic_error(std::string(what) +
+                               " inside an object requires key() first");
+}
+
+void
 JsonWriter::beginObject()
 {
+    requireValueContext("beginObject");
     separate();
     os_ << '{';
     stack_.push_back({false, false});
@@ -46,6 +58,10 @@ JsonWriter::beginObject()
 void
 JsonWriter::endObject()
 {
+    if (stack_.empty() || stack_.back().array)
+        throw std::logic_error("endObject: not inside an object");
+    if (pending_key_)
+        throw std::logic_error("endObject: key() awaits its value");
     bool had = stack_.back().has_items;
     stack_.pop_back();
     if (had)
@@ -58,6 +74,7 @@ JsonWriter::endObject()
 void
 JsonWriter::beginArray()
 {
+    requireValueContext("beginArray");
     separate();
     os_ << '[';
     stack_.push_back({true, false});
@@ -66,6 +83,8 @@ JsonWriter::beginArray()
 void
 JsonWriter::endArray()
 {
+    if (stack_.empty() || !stack_.back().array)
+        throw std::logic_error("endArray: not inside an array");
     bool had = stack_.back().has_items;
     stack_.pop_back();
     if (had)
@@ -78,6 +97,10 @@ JsonWriter::endArray()
 void
 JsonWriter::key(const std::string &k)
 {
+    if (stack_.empty() || stack_.back().array)
+        throw std::logic_error("key(): not inside an object");
+    if (pending_key_)
+        throw std::logic_error("key(): previous key still awaits a value");
     separate();
     os_ << '"' << escape(k) << "\": ";
     pending_key_ = true;
@@ -86,6 +109,7 @@ JsonWriter::key(const std::string &k)
 void
 JsonWriter::value(const std::string &v)
 {
+    requireValueContext("value");
     separate();
     os_ << '"' << escape(v) << '"';
 }
@@ -99,6 +123,7 @@ JsonWriter::value(const char *v)
 void
 JsonWriter::value(double v)
 {
+    requireValueContext("value");
     separate();
     os_ << formatDouble(v);
 }
@@ -106,6 +131,7 @@ JsonWriter::value(double v)
 void
 JsonWriter::value(std::int64_t v)
 {
+    requireValueContext("value");
     separate();
     os_ << v;
 }
@@ -113,6 +139,7 @@ JsonWriter::value(std::int64_t v)
 void
 JsonWriter::value(std::uint64_t v)
 {
+    requireValueContext("value");
     separate();
     os_ << v;
 }
@@ -120,6 +147,7 @@ JsonWriter::value(std::uint64_t v)
 void
 JsonWriter::value(bool v)
 {
+    requireValueContext("value");
     separate();
     os_ << (v ? "true" : "false");
 }
@@ -127,6 +155,7 @@ JsonWriter::value(bool v)
 void
 JsonWriter::null()
 {
+    requireValueContext("null");
     separate();
     os_ << "null";
 }

@@ -7,6 +7,9 @@
  * clock) so bench runs double as machine-readable perf telemetry.
  * This writer is intentionally tiny: objects, arrays, scalars, correct
  * string escaping and round-trippable doubles - no DOM, no parsing.
+ * Structural misuse (closing the wrong container, a value inside an
+ * object without a key) throws std::logic_error instead of emitting
+ * silently malformed output.
  */
 #ifndef RFC_UTIL_JSON_HPP
 #define RFC_UTIL_JSON_HPP
@@ -72,6 +75,8 @@ class JsonWriter
   private:
     void separate();  //!< comma/newline/indent before a new element
     void newline();
+    /** Throws std::logic_error on object-value misuse (value sans key). */
+    void requireValueContext(const char *what);
 
     std::ostream &os_;
     int indent_;

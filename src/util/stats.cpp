@@ -1,6 +1,7 @@
 #include "util/stats.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace rfc {
 
@@ -41,6 +42,57 @@ RunningStat::ci95() const
     if (n_ < 2)
         return 0.0;
     return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double
+chiSquareStat(const std::vector<long long> &observed,
+              const std::vector<double> &expected)
+{
+    double stat = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        double e = expected[i];
+        auto o = static_cast<double>(observed[i]);
+        if (e <= 0.0) {
+            if (o > 0.0)
+                return std::numeric_limits<double>::infinity();
+            continue;
+        }
+        double d = o - e;
+        stat += d * d / e;
+    }
+    return stat;
+}
+
+double
+chiSquareUniformStat(const std::vector<long long> &observed)
+{
+    long long total = 0;
+    for (long long o : observed)
+        total += o;
+    double e = observed.empty()
+                   ? 0.0
+                   : static_cast<double>(total) /
+                         static_cast<double>(observed.size());
+    return chiSquareStat(observed, std::vector<double>(observed.size(), e));
+}
+
+double
+chiSquareCritical(int df, double alpha)
+{
+    // Upper-tail standard normal quantile via Acklam-style rational
+    // approximation (good to ~1e-4, far tighter than the test margins).
+    double p = 1.0 - alpha;
+    double t = std::sqrt(-2.0 * std::log(p < 0.5 ? p : 1.0 - p));
+    double z = t - (2.515517 + 0.802853 * t + 0.010328 * t * t) /
+                       (1.0 + 1.432788 * t + 0.189269 * t * t +
+                        0.001308 * t * t * t);
+    if (p < 0.5)
+        z = -z;
+    // Wilson-Hilferty: chi2_df ~ df * (1 - 2/(9 df) + z sqrt(2/(9 df)))^3.
+    double d = static_cast<double>(df);
+    double h = 2.0 / (9.0 * d);
+    double c = 1.0 - h + z * std::sqrt(h);
+    return d * c * c * c;
 }
 
 } // namespace rfc

@@ -6,6 +6,7 @@
 #define RFC_UTIL_STATS_HPP
 
 #include <cstddef>
+#include <vector>
 
 namespace rfc {
 
@@ -40,6 +41,26 @@ class RunningStat
     double min_ = 0.0;
     double max_ = 0.0;
 };
+
+/**
+ * Pearson chi-square statistic sum((O_i - E_i)^2 / E_i) for observed
+ * counts against expected counts (same length; zero-expected cells
+ * with zero observations contribute nothing, otherwise infinity).
+ * Used by the traffic-uniformity property checks.
+ */
+double chiSquareStat(const std::vector<long long> &observed,
+                     const std::vector<double> &expected);
+
+/** chiSquareStat against a uniform expectation over all cells. */
+double chiSquareUniformStat(const std::vector<long long> &observed);
+
+/**
+ * Approximate upper critical value of the chi-square distribution with
+ * @p df degrees of freedom at upper-tail probability @p alpha, via the
+ * Wilson-Hilferty cube-root normal approximation (accurate to a few
+ * percent for df >= 3, which is ample for a randomized-test threshold).
+ */
+double chiSquareCritical(int df, double alpha);
 
 } // namespace rfc
 

@@ -102,6 +102,97 @@ TEST(JsonWriter, EmptyContainersStayOnOneLine)
     EXPECT_NE(os.str().find("[]"), std::string::npos);
 }
 
+TEST(JsonWriter, ValueInsideObjectWithoutKeyThrows)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    EXPECT_THROW(w.value("stray"), std::logic_error);
+    EXPECT_THROW(w.value(1.5), std::logic_error);
+    EXPECT_THROW(w.value(static_cast<std::int64_t>(1)), std::logic_error);
+    EXPECT_THROW(w.value(true), std::logic_error);
+    EXPECT_THROW(w.null(), std::logic_error);
+    EXPECT_THROW(w.beginArray(), std::logic_error);
+    EXPECT_THROW(w.beginObject(), std::logic_error);
+    // The writer stays usable after the rejected calls.
+    w.kv("ok", true);
+    w.endObject();
+    EXPECT_NE(os.str().find("\"ok\": true"), std::string::npos);
+}
+
+TEST(JsonWriter, CloseOrderMisuseThrows)
+{
+    {
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        w.beginObject();
+        EXPECT_THROW(w.endArray(), std::logic_error);  // wrong closer
+        w.endObject();
+    }
+    {
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        w.beginArray();
+        EXPECT_THROW(w.endObject(), std::logic_error);  // wrong closer
+        w.endArray();
+    }
+    {
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        EXPECT_THROW(w.endObject(), std::logic_error);  // nothing open
+        EXPECT_THROW(w.endArray(), std::logic_error);
+    }
+}
+
+TEST(JsonWriter, DanglingKeyMisuseThrows)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.key("k");
+    EXPECT_THROW(w.endObject(), std::logic_error);  // key without value
+    EXPECT_THROW(w.key("again"), std::logic_error); // key after key
+    w.value(1.0);  // resolve the pending key
+    w.endObject();
+    EXPECT_NE(os.str().find("\"k\": 1"), std::string::npos);
+}
+
+TEST(JsonWriter, KeyOutsideObjectThrows)
+{
+    {
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        EXPECT_THROW(w.key("top-level"), std::logic_error);
+    }
+    {
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        w.beginArray();
+        EXPECT_THROW(w.key("in-array"), std::logic_error);
+        w.endArray();
+    }
+}
+
+TEST(JsonWriter, EscapesAllControlCharactersAndKeys)
+{
+    // Every byte below 0x20 must come out escaped; the common ones get
+    // short forms, the rest \u00XX.
+    for (int c = 1; c < 0x20; ++c) {
+        std::string esc = JsonWriter::escape(std::string(1, static_cast<char>(c)));
+        ASSERT_GE(esc.size(), 2u) << "char " << c;
+        EXPECT_EQ(esc[0], '\\') << "char " << c;
+    }
+    EXPECT_EQ(JsonWriter::escape("\r"), "\\r");
+    // Keys pass through the same escaping as values.
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.kv("quote\"key", "tab\tvalue");
+    w.endObject();
+    EXPECT_NE(os.str().find("quote\\\"key"), std::string::npos);
+    EXPECT_NE(os.str().find("tab\\tvalue"), std::string::npos);
+}
+
 TEST(TablePrinter, PrintJsonEmitsOneObjectPerRow)
 {
     TablePrinter t({"name", "value"});

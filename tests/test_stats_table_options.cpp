@@ -145,5 +145,91 @@ TEST(Options, RejectsPositionalArguments)
     EXPECT_THROW(Options(2, argv), std::invalid_argument);
 }
 
+TEST(Options, RepeatedFlagLastWins)
+{
+    const char *argv[] = {"prog", "--radix=8", "--radix=16",
+                          "--load", "0.1", "--load=0.9"};
+    Options o(6, argv);
+    EXPECT_EQ(o.getInt("radix", 0), 16);
+    EXPECT_DOUBLE_EQ(o.getDouble("load", 0.0), 0.9);
+}
+
+TEST(Options, MissingValueAtEndBecomesBareFlag)
+{
+    // "--levels" with nothing after it cannot consume a value; it
+    // parses as a bare flag, so typed accessors see an empty string.
+    const char *argv[] = {"prog", "--levels"};
+    Options o(2, argv);
+    EXPECT_TRUE(o.has("levels"));
+    EXPECT_EQ(o.get("levels", "x"), "");
+    EXPECT_THROW(o.getInt("levels", 0), std::invalid_argument);
+    EXPECT_THROW(o.getDouble("levels", 0.0), std::invalid_argument);
+    EXPECT_TRUE(o.getBool("levels", false));  // bare flag = true
+}
+
+TEST(Options, FlagFollowedByFlagDoesNotStealValue)
+{
+    const char *argv[] = {"prog", "--fast", "--jobs=4"};
+    Options o(3, argv);
+    EXPECT_EQ(o.get("fast", "x"), "");
+    EXPECT_EQ(o.getInt("jobs", 0), 4);
+}
+
+TEST(Options, UnknownFlagIsQueryableButAbsentOnesDefault)
+{
+    const char *argv[] = {"prog", "--definitely-not-a-real-option=3"};
+    Options o(2, argv);
+    EXPECT_TRUE(o.has("definitely-not-a-real-option"));
+    EXPECT_FALSE(o.has("definitely"));
+    EXPECT_EQ(o.getInt("other", 42), 42);
+}
+
+TEST(Options, NonNumericValueThrowsFromTypedAccessors)
+{
+    const char *argv[] = {"prog", "--radix=abc"};
+    Options o(2, argv);
+    EXPECT_THROW(o.getInt("radix", 0), std::invalid_argument);
+    EXPECT_THROW(o.getDouble("radix", 0.0), std::invalid_argument);
+    EXPECT_EQ(o.get("radix", ""), "abc");  // string access still works
+}
+
+TEST(ChiSquare, ExactStatisticOnSmallExample)
+{
+    // O = {10, 20, 30}, E = {20, 20, 20}:
+    // (100 + 0 + 100) / 20 = 10.
+    std::vector<long long> obs{10, 20, 30};
+    std::vector<double> exp{20.0, 20.0, 20.0};
+    EXPECT_NEAR(chiSquareStat(obs, exp), 10.0, 1e-12);
+}
+
+TEST(ChiSquare, UniformStatOfPerfectFitIsZero)
+{
+    std::vector<long long> obs{25, 25, 25, 25};
+    EXPECT_NEAR(chiSquareUniformStat(obs), 0.0, 1e-12);
+}
+
+TEST(ChiSquare, ZeroExpectedCellWithObservationsIsInfinite)
+{
+    std::vector<long long> obs{5, 1};
+    std::vector<double> exp{5.0, 0.0};
+    EXPECT_TRUE(std::isinf(chiSquareStat(obs, exp)));
+    // ...but a zero-expected, zero-observed cell contributes nothing.
+    std::vector<long long> obs2{5, 0};
+    EXPECT_NEAR(chiSquareStat(obs2, exp), 0.0, 1e-12);
+}
+
+TEST(ChiSquare, CriticalValuesNearTabulated)
+{
+    // Wilson-Hilferty is accurate to a few percent: compare against
+    // standard table entries.
+    EXPECT_NEAR(chiSquareCritical(10, 0.05), 18.307, 0.5);
+    EXPECT_NEAR(chiSquareCritical(30, 0.01), 50.892, 1.0);
+    // Wilson-Hilferty loses ~3% of accuracy this deep in the tail.
+    EXPECT_NEAR(chiSquareCritical(62, 0.001), 105.2, 3.5);
+    // Monotone in df and in significance.
+    EXPECT_LT(chiSquareCritical(10, 0.05), chiSquareCritical(20, 0.05));
+    EXPECT_LT(chiSquareCritical(10, 0.05), chiSquareCritical(10, 0.01));
+}
+
 } // namespace
 } // namespace rfc
