@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Extension: flow-level reproduction of the Figures 8-10 scenario
+ * table and a Figure 12-style fault sweep, at paper scale.
+ *
+ * The packet simulator needs hours at 200K terminals; the src/flow
+ * engine answers the same saturation questions analytically: for each
+ * scenario (11K equal-resources, 100K, 200K max-expansion) and demand
+ * pattern it reports the certified maximum concurrent flow lambda
+ * (optimal multipath split, with its LP dual upper bound) and the ECMP
+ * fluid saturation with the per-demand worst/average throughput
+ * distribution.  Validation against the packet simulator lives in
+ * tests/test_flow_validation.cpp; the methodology (sampled uniform
+ * demands, path caps, tolerance) is documented in EXPERIMENTS.md.
+ *
+ * Scenarios: --scenario=11k,100k,200k,faults (default: all at sandbox
+ * scale; 200k under --full, sized to finish the paper-scale
+ * RFC-vs-CFT comparison in minutes).  Other knobs: --patterns
+ * (comma-separated makeDemandMatrix names), --samples (uniform
+ * demands per terminal; 0 = exact all-pairs), --max-paths, --epsilon,
+ * --phases, --fault-steps.  Output is bit-identical at any --jobs
+ * value; timing telemetry goes to stderr (or the JSON timing block).
+ */
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "clos/fat_tree.hpp"
+#include "clos/faults.hpp"
+#include "clos/rfc.hpp"
+#include "exp/flow_experiment.hpp"
+#include "util/rng.hpp"
+
+using namespace rfc;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+void
+reportFlowEngine(const FlowGridResult &result)
+{
+    double build = 0.0, solve = 0.0;
+    for (const auto &p : result.points) {
+        build += p.build_seconds;
+        solve += p.solve_seconds;
+    }
+    std::cerr << "[flow] " << result.points.size() << " point(s) on "
+              << result.jobs << " job(s): " << result.wall_seconds
+              << " s wall (" << build << " s build, " << solve
+              << " s solve)\n";
+}
+
+/** Run one scenario grid and print a table per demand pattern. */
+void
+runScenario(const Options &opts, const std::string &heading,
+            FlowGrid &grid, const ExperimentEngine &engine)
+{
+    FlowGridResult result = runFlowGrid(grid, engine);
+    reportFlowEngine(result);
+
+    std::cout << "## " << heading << "\n";
+    if (opts.getBool("json", false)) {
+        writeFlowGridJson(std::cout, grid, result, engine.baseSeed());
+        return;
+    }
+    for (std::size_t pi = 0; pi < grid.patterns.size(); ++pi) {
+        TablePrinter t({"network", "terminals", "demands", "unrouted",
+                        "maxflow", "dual", "conv", "ecmp_sat",
+                        "ecmp_worst", "ecmp_avg"});
+        for (std::size_t ni = 0; ni < grid.networks.size(); ++ni) {
+            const auto &p =
+                result.points[result.index(ni, pi,
+                                           grid.patterns.size())];
+            t.addRow({p.network, std::to_string(p.terminals),
+                      std::to_string(p.demands),
+                      std::to_string(p.unrouted),
+                      TablePrinter::fmt(p.throughput, 4),
+                      TablePrinter::fmt(p.dual_bound, 4),
+                      p.converged ? "yes" : "no",
+                      TablePrinter::fmt(p.ecmp_saturation, 4),
+                      TablePrinter::fmt(p.ecmp_worst, 4),
+                      TablePrinter::fmt(p.ecmp_average, 4)});
+        }
+        emit(opts, "pattern: " + grid.patterns[pi], t);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    banner(opts, "Extension: flow-level throughput (Figs 8-10 + fault "
+                 "sweep)");
+    const bool full = opts.fullScale();
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 13));
+
+    // At paper scale default to the headline 200K comparison; the
+    // sandbox default covers every scenario.
+    auto scenarios =
+        splitList(opts.get("scenario", full ? "200k" : "all"));
+    auto want = [&](const std::string &s) {
+        for (const auto &x : scenarios)
+            if (x == s || x == "all")
+                return true;
+        return false;
+    };
+    FlowGrid proto;
+    proto.patterns = splitList(
+        opts.get("patterns", "uniform,fixed-random,random-pairing"));
+    proto.max_paths =
+        static_cast<int>(opts.getInt("max-paths", full ? 8 : 16));
+    proto.uniform_samples =
+        static_cast<int>(opts.getInt("samples", full ? 2 : 4));
+    proto.solve.epsilon = opts.getDouble("epsilon", 0.05);
+    proto.solve.max_phases =
+        static_cast<int>(opts.getInt("phases", full ? 200 : 400));
+
+    ExperimentEngine engine(opts.jobs(), seed);
+    Rng rng(seed);
+
+    if (want("11k")) {
+        // Figure 8 shape: 3-level CFT vs equal-resources RFC vs the
+        // radix-reduced RFC at ~the same terminal count.
+        const int radix = full ? 36 : 16;
+        const int small_radix = full ? 20 : 12;
+        auto cft = buildCft(radix, 3);
+        auto rfc_eq = buildRfc(radix, 3, cft.numLeaves(), rng);
+        int n1_small =
+            static_cast<int>(cft.numTerminals() / (small_radix / 2));
+        if (n1_small % 2)
+            ++n1_small;
+        auto rfc_small = buildRfc(small_radix, 3, n1_small, rng);
+        UpDownOracle o_cft(cft), o_eq(rfc_eq.topology),
+            o_small(rfc_small.topology);
+
+        FlowGrid grid = proto;
+        grid.addClos("CFT", cft, o_cft)
+            .addClos("RFC", rfc_eq.topology, o_eq)
+            .addClos("RFC-r" + std::to_string(small_radix),
+                     rfc_small.topology, o_small);
+        runScenario(opts, "11K scenario (equal resources, 3 levels)",
+                    grid, engine);
+    }
+
+    if (want("100k")) {
+        // Figure 9 shape: 4-level CFT (full and half-pruned) vs the
+        // 3-level RFC at the same terminal count.
+        const int cft_radix = full ? 36 : 8;
+        const int rfc_radix = full ? 36 : 16;
+        auto cft = buildCft(cft_radix, 4);
+        auto pruned = buildPrunedCft(cft_radix, 4,
+                                     cft.switchesAtLevel(4) / 2);
+        int n1 = full ? 5556
+                      : static_cast<int>(cft.numTerminals() /
+                                         (rfc_radix / 2));
+        auto built = buildRfc(rfc_radix, 3, n1, rng);
+        UpDownOracle o_cft(cft), o_pruned(pruned),
+            o_rfc(built.topology);
+
+        FlowGrid grid = proto;
+        grid.addClos("CFT4", cft, o_cft)
+            .addClos("CFT4-half", pruned, o_pruned)
+            .addClos("RFC3", built.topology, o_rfc);
+        runScenario(opts, "100K scenario (4-level CFT vs 3-level RFC)",
+                    grid, engine);
+    }
+
+    if (want("200k")) {
+        // Figure 10 shape: the largest routable 3-level RFC vs the
+        // 4-level CFT.
+        const int radix = full ? 36 : 12;
+        auto cft = buildCft(radix, 4);
+        int n1 = rfcMaxLeaves(radix, 3);
+        auto built = buildRfc(radix, 3, n1, rng, 50);
+        if (!built.routable)
+            std::cout << "warning: RFC not routable after 50 attempts\n";
+        UpDownOracle o_cft(cft), o_rfc(built.topology);
+
+        FlowGrid grid = proto;
+        grid.addClos("CFT4", cft, o_cft)
+            .addClos("RFC3", built.topology, o_rfc);
+        runScenario(opts,
+                    "200K scenario (max 3-level RFC vs 4-level CFT)",
+                    grid, engine);
+    }
+
+    if (want("faults")) {
+        // Figure 12 shape: equal-resources CFT/RFC under progressive
+        // link faults; unrouted demands are reported, not re-spread.
+        const int radix = full ? 36 : 12;
+        auto cft = buildCft(radix, 3);
+        auto built = buildRfc(radix, 3, cft.numLeaves(), rng);
+        const long long wires = cft.numWires();
+        const int steps =
+            static_cast<int>(opts.getInt("fault-steps", full ? 10 : 6));
+        const long long step_links = opts.getInt(
+            "step-links", std::max<long long>(wires * 129 / 10000, 1));
+
+        Rng order_rng(static_cast<std::uint64_t>(seed + 1));
+        auto cft_order = randomLinkOrder(cft, order_rng);
+        auto rfc_order = randomLinkOrder(built.topology, order_rng);
+
+        struct Level
+        {
+            FoldedClos cft_cut, rfc_cut;
+            std::unique_ptr<UpDownOracle> o_cft, o_rfc;
+        };
+        std::vector<Level> levels(static_cast<std::size_t>(steps + 1));
+        FlowGrid grid = proto;
+        for (int s = 0; s <= steps; ++s) {
+            auto f = static_cast<std::size_t>(s) *
+                     static_cast<std::size_t>(step_links);
+            auto &lvl = levels[static_cast<std::size_t>(s)];
+            lvl.cft_cut = withLinksRemoved(cft, cft_order, f);
+            lvl.rfc_cut = withLinksRemoved(built.topology, rfc_order, f);
+            lvl.o_cft = std::make_unique<UpDownOracle>(lvl.cft_cut);
+            lvl.o_rfc = std::make_unique<UpDownOracle>(lvl.rfc_cut);
+            grid.addClos("CFT@" + std::to_string(s), lvl.cft_cut,
+                         *lvl.o_cft)
+                .addClos("RFC@" + std::to_string(s), lvl.rfc_cut,
+                         *lvl.o_rfc);
+        }
+
+        FlowGridResult result = runFlowGrid(grid, engine);
+        reportFlowEngine(result);
+        std::cout << "## Fault sweep (equal resources, step "
+                  << step_links << " of " << wires << " wires)\n";
+        if (opts.getBool("json", false)) {
+            writeFlowGridJson(std::cout, grid, result,
+                              engine.baseSeed());
+            return 0;
+        }
+        for (std::size_t pi = 0; pi < grid.patterns.size(); ++pi) {
+            TablePrinter t({"faults%", "maxflow(CFT)", "unrouted(CFT)",
+                            "maxflow(RFC)", "unrouted(RFC)"});
+            for (int s = 0; s <= steps; ++s) {
+                const auto &pc = result.points[result.index(
+                    static_cast<std::size_t>(2 * s), pi,
+                    grid.patterns.size())];
+                const auto &pr = result.points[result.index(
+                    static_cast<std::size_t>(2 * s + 1), pi,
+                    grid.patterns.size())];
+                double pct = 100.0 *
+                             static_cast<double>(s) *
+                             static_cast<double>(step_links) /
+                             static_cast<double>(wires);
+                t.addRow({TablePrinter::fmt(pct, 2),
+                          TablePrinter::fmt(pc.throughput, 4),
+                          std::to_string(pc.unrouted),
+                          TablePrinter::fmt(pr.throughput, 4),
+                          std::to_string(pr.unrouted)});
+            }
+            emit(opts, "pattern: " + grid.patterns[pi], t);
+        }
+    }
+    return 0;
+}

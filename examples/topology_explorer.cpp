@@ -5,8 +5,14 @@
  * and (optionally) simulated performance - the Sections 4-6 comparison
  * for *your* parameters.
  *
+ * Structural stats are followed by the flow model: certified maximum
+ * concurrent flow and the ECMP worst/average per-demand throughput
+ * under sampled uniform demand (see src/flow), which ranks the
+ * topologies by saturation behavior without running the simulator.
+ *
  * Usage: topology_explorer [--radix R] [--levels L] [--simulate]
- *                          [--load X] [--seed S]
+ *                          [--load X] [--seed S] [--samples N]
+ *                          [--max-paths K] [--jobs N]
  */
 #include <iostream>
 
@@ -63,6 +69,40 @@ main(int argc, char **argv)
                           net.numSwitches(), 2)});
     }
     t.print(std::cout);
+
+    // Flow-level throughput under sampled uniform demand: the
+    // saturation answer of Figures 8-10 without packet simulation.
+    {
+        FlowGrid grid;
+        std::vector<UpDownOracle> oracles;
+        oracles.reserve(nets.size());
+        for (const auto &net : nets)
+            oracles.emplace_back(net);
+        for (std::size_t i = 0; i < nets.size(); ++i)
+            grid.addClos(nets[i].name(), nets[i], oracles[i]);
+        grid.patterns = {"uniform"};
+        grid.max_paths =
+            static_cast<int>(opts.getInt("max-paths", 16));
+        grid.uniform_samples =
+            static_cast<int>(opts.getInt("samples", 4));
+        ExperimentEngine engine(
+            opts.jobs(), static_cast<std::uint64_t>(opts.getInt("seed",
+                                                                2)));
+        FlowGridResult flows = runFlowGrid(grid, engine);
+
+        std::cout << "\nflow model, sampled uniform demand ("
+                  << grid.uniform_samples << " permutations, <= "
+                  << grid.max_paths << " paths/pair):\n";
+        TablePrinter f({"topology", "maxflow", "dual-bound", "ecmp-sat",
+                        "worst-demand", "avg-demand"});
+        for (const auto &p : flows.points)
+            f.addRow({p.network, TablePrinter::fmt(p.throughput, 3),
+                      TablePrinter::fmt(p.dual_bound, 3),
+                      TablePrinter::fmt(p.ecmp_saturation, 3),
+                      TablePrinter::fmt(p.ecmp_worst, 3),
+                      TablePrinter::fmt(p.ecmp_average, 3)});
+        f.print(std::cout);
+    }
 
     // Jellyfish-style direct network as a reference row.
     int d = 2 * (levels - 1);

@@ -166,6 +166,13 @@ class ExperimentEngine
     std::uint64_t baseSeed() const { return base_seed_; }
 
     /**
+     * The engine's worker pool (never null; 0 workers when jobs = 1).
+     * Lets per-point parallel solvers (src/flow) share the engine's
+     * threads instead of spinning up their own.
+     */
+    ThreadPool *pool() const { return pool_.get(); }
+
+    /**
      * Run every point `reps` times; trial t of point p uses seed
      * deriveSeed(base_seed, p, t).  Results are bit-identical for any
      * jobs value.  Exceptions from trials are rethrown on the caller.

@@ -1,0 +1,156 @@
+#include "exp/flow_experiment.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace rfc {
+
+FlowGrid &
+FlowGrid::addClos(std::string label, const FoldedClos &fc,
+                  const UpDownOracle &oracle)
+{
+    networks.push_back({std::move(label), &fc, &oracle, nullptr, 0});
+    return *this;
+}
+
+FlowGrid &
+FlowGrid::addGraph(std::string label, const Graph &g, int hosts_per_switch)
+{
+    networks.push_back(
+        {std::move(label), nullptr, nullptr, &g, hosts_per_switch});
+    return *this;
+}
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+FlowGridResult
+runFlowGrid(const FlowGrid &grid, const ExperimentEngine &engine)
+{
+    FlowGridResult result;
+    result.jobs = engine.jobs();
+    ThreadPool *pool = engine.pool();
+    auto t0 = std::chrono::steady_clock::now();
+
+    for (std::size_t ni = 0; ni < grid.networks.size(); ++ni) {
+        const FlowNetwork &net = grid.networks[ni];
+        for (std::size_t pi = 0; pi < grid.patterns.size(); ++pi) {
+            std::size_t point = ni * grid.patterns.size() + pi;
+            FlowPointResult r;
+            r.network = net.label;
+            r.pattern = grid.patterns[pi];
+            r.terminals =
+                net.topology
+                    ? net.topology->numTerminals()
+                    : static_cast<long long>(net.graph->numVertices()) *
+                          net.hosts_per_switch;
+
+            DemandMatrix dm = makeDemandMatrix(
+                grid.patterns[pi], r.terminals,
+                deriveSeed(engine.baseSeed(), point, 0),
+                grid.uniform_samples, grid.shift_stride);
+
+            auto tb = std::chrono::steady_clock::now();
+            FlowProblem problem;
+            if (net.topology) {
+                UpDownEcmpPaths provider(
+                    *net.topology, *net.oracle, grid.max_paths,
+                    deriveSeed(engine.baseSeed(), point, 1));
+                problem = buildClosFlowProblem(*net.topology, provider,
+                                               dm, pool);
+            } else if (net.graph) {
+                KspPaths provider(*net.graph, grid.max_paths);
+                problem = buildGraphFlowProblem(
+                    *net.graph, net.hosts_per_switch, provider, dm, pool);
+            } else {
+                throw std::invalid_argument(
+                    "runFlowGrid: network without topology or graph");
+            }
+            auto ts = std::chrono::steady_clock::now();
+
+            SolveOptions solve = grid.solve;
+            solve.pool = pool;
+            FlowSolution sol = solveMaxConcurrentFlow(problem, solve);
+            EcmpFluidResult fluid = ecmpFluid(problem, pool);
+            auto te = std::chrono::steady_clock::now();
+
+            r.demands = problem.numDemands();
+            r.routed = sol.routed_demands;
+            r.unrouted = sol.unrouted_demands;
+            r.links = static_cast<std::size_t>(problem.numLinks());
+            r.paths = problem.numPathsTotal();
+            r.throughput = sol.throughput;
+            r.dual_bound = sol.dual_bound;
+            r.converged = sol.converged;
+            r.phases = sol.phases;
+            r.ecmp_saturation = fluid.saturation;
+            r.ecmp_worst = fluid.worst;
+            r.ecmp_average = fluid.average;
+            r.build_seconds = seconds(tb, ts);
+            r.solve_seconds = seconds(ts, te);
+            result.points.push_back(std::move(r));
+        }
+    }
+
+    result.wall_seconds = seconds(t0, std::chrono::steady_clock::now());
+    return result;
+}
+
+void
+writeFlowGridJson(std::ostream &os, const FlowGrid &grid,
+                  const FlowGridResult &result, std::uint64_t base_seed)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("jobs", static_cast<std::int64_t>(result.jobs));
+    w.kv("base_seed", static_cast<std::uint64_t>(base_seed));
+    w.kv("max_paths", static_cast<std::int64_t>(grid.max_paths));
+    w.kv("uniform_samples",
+         static_cast<std::int64_t>(grid.uniform_samples));
+    w.kv("epsilon", grid.solve.epsilon);
+    w.kv("max_phases", static_cast<std::int64_t>(grid.solve.max_phases));
+    w.kv("wall_seconds", result.wall_seconds);
+
+    w.key("points");
+    w.beginArray();
+    for (const auto &p : result.points) {
+        w.beginObject();
+        w.kv("network", p.network);
+        w.kv("pattern", p.pattern);
+        w.kv("terminals", static_cast<std::int64_t>(p.terminals));
+        w.kv("demands", static_cast<std::uint64_t>(p.demands));
+        w.kv("routed", static_cast<std::uint64_t>(p.routed));
+        w.kv("unrouted", static_cast<std::uint64_t>(p.unrouted));
+        w.kv("links", static_cast<std::uint64_t>(p.links));
+        w.kv("paths", static_cast<std::uint64_t>(p.paths));
+        w.kv("throughput", p.throughput);
+        w.kv("dual_bound", p.dual_bound);
+        w.kv("converged", p.converged);
+        w.kv("phases", static_cast<std::int64_t>(p.phases));
+        w.kv("ecmp_saturation", p.ecmp_saturation);
+        w.kv("ecmp_worst", p.ecmp_worst);
+        w.kv("ecmp_average", p.ecmp_average);
+        w.key("timing");
+        w.beginObject();
+        w.kv("build_seconds", p.build_seconds);
+        w.kv("solve_seconds", p.solve_seconds);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace rfc

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Flow-level throughput grids on the deterministic experiment engine.
+ *
+ * The packet simulator answers the Figures 8-10 questions in
+ * cycle-level detail but cannot reach paper scale in sandbox time; the
+ * flow engine (src/flow) answers the same saturation questions
+ * analytically in seconds.  This module runs the flow engine over the
+ * same declarative shape as `ExperimentGrid`: networks x demand
+ * patterns, each point solved for
+ *
+ *  - the certified maximum concurrent flow (optimal multipath split),
+ *  - the ECMP fluid saturation plus the per-demand worst/average
+ *    throughput distribution (even split, what the simulator's random
+ *    ECMP does in expectation).
+ *
+ * Seeding follows the src/exp contract: point p draws its demand
+ * matrix from deriveSeed(base_seed, p, 0) and its path sampling from
+ * deriveSeed(base_seed, p, 1), so results are bit-identical at any
+ * --jobs value (the engine's pool parallelizes *within* a point,
+ * across demands).
+ */
+#ifndef RFC_EXP_FLOW_EXPERIMENT_HPP
+#define RFC_EXP_FLOW_EXPERIMENT_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "flow/solver.hpp"
+#include "graph/graph.hpp"
+
+namespace rfc {
+
+/** One network under flow-level test: a folded Clos or a direct graph. */
+struct FlowNetwork
+{
+    std::string label;
+    const FoldedClos *topology = nullptr;  //!< Clos family (CFT/OFT/RFC)
+    const UpDownOracle *oracle = nullptr;
+    const Graph *graph = nullptr;          //!< direct family (RRN)
+    int hosts_per_switch = 0;
+};
+
+/** Declarative flow-study grid: networks x demand patterns. */
+struct FlowGrid
+{
+    std::vector<FlowNetwork> networks;
+    /** `makeDemandMatrix` pattern names (uniform, fixed-random, ...). */
+    std::vector<std::string> patterns;
+
+    /** Candidate-path cap per pair (ECMP sample / Yen k). */
+    int max_paths = 16;
+    /** Uniform-pattern sampling density; <= 0 = exact all-pairs. */
+    int uniform_samples = 4;
+    long long shift_stride = 1;  //!< for the "shift" pattern
+    /** Solver knobs; the pool field is overridden by the engine's. */
+    SolveOptions solve;
+
+    FlowGrid &addClos(std::string label, const FoldedClos &fc,
+                      const UpDownOracle &oracle);
+    FlowGrid &addGraph(std::string label, const Graph &g,
+                       int hosts_per_switch);
+};
+
+/** Flow-engine outputs at one (network, pattern) grid point. */
+struct FlowPointResult
+{
+    std::string network;
+    std::string pattern;
+    long long terminals = 0;
+
+    std::size_t demands = 0;
+    std::size_t routed = 0;
+    std::size_t unrouted = 0;  //!< demands with no path (faulted nets)
+    std::size_t links = 0;
+    std::size_t paths = 0;
+
+    double throughput = 0.0;  //!< certified max concurrent flow lambda
+    double dual_bound = 0.0;
+    bool converged = false;
+    int phases = 0;
+
+    double ecmp_saturation = 0.0;
+    double ecmp_worst = 0.0;    //!< worst per-demand ECMP throughput
+    double ecmp_average = 0.0;  //!< mean per-demand ECMP throughput
+
+    double build_seconds = 0.0;  //!< paths + problem assembly
+    double solve_seconds = 0.0;  //!< concurrent-flow + fluid solves
+};
+
+/** Points in grid declaration order (network-major, then pattern). */
+struct FlowGridResult
+{
+    std::vector<FlowPointResult> points;
+    double wall_seconds = 0.0;
+    int jobs = 1;
+
+    std::size_t
+    index(std::size_t net, std::size_t pattern,
+          std::size_t n_patterns) const
+    {
+        return net * n_patterns + pattern;
+    }
+};
+
+/**
+ * Run every grid point on @p engine (demands parallelized on its pool,
+ * deterministically).  Every field except the *_seconds timings is
+ * bit-identical at any jobs value.
+ */
+FlowGridResult runFlowGrid(const FlowGrid &grid,
+                           const ExperimentEngine &engine);
+
+/** Emit a flow grid result as a JSON document (src/exp house style). */
+void writeFlowGridJson(std::ostream &os, const FlowGrid &grid,
+                       const FlowGridResult &result,
+                       std::uint64_t base_seed);
+
+} // namespace rfc
+
+#endif // RFC_EXP_FLOW_EXPERIMENT_HPP

@@ -1,0 +1,149 @@
+#include "flow/demand.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rfc {
+
+double
+DemandMatrix::totalWeight() const
+{
+    double sum = 0.0;
+    for (const auto &d : demands)
+        sum += d.weight;
+    return sum;
+}
+
+double
+DemandMatrix::maxInjection() const
+{
+    // Demands are src-sorted, so per-source totals are contiguous.
+    double best = 0.0, run = 0.0;
+    long long src = -1;
+    for (const auto &d : demands) {
+        if (d.src != src) {
+            best = std::max(best, run);
+            run = 0.0;
+            src = d.src;
+        }
+        run += d.weight;
+    }
+    return std::max(best, run);
+}
+
+double
+DemandMatrix::maxEjection() const
+{
+    std::unordered_map<long long, double> in;
+    in.reserve(demands.size());
+    double best = 0.0;
+    for (const auto &d : demands)
+        best = std::max(best, in[d.dst] += d.weight);
+    return best;
+}
+
+namespace {
+
+/** Sort by (src, dst) and merge duplicate pairs (weights add). */
+void
+normalize(DemandMatrix &m)
+{
+    std::sort(m.demands.begin(), m.demands.end(),
+              [](const Demand &a, const Demand &b) {
+                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < m.demands.size(); ++i) {
+        if (out > 0 && m.demands[out - 1].src == m.demands[i].src &&
+            m.demands[out - 1].dst == m.demands[i].dst)
+            m.demands[out - 1].weight += m.demands[i].weight;
+        else
+            m.demands[out++] = m.demands[i];
+    }
+    m.demands.resize(out);
+}
+
+} // namespace
+
+DemandMatrix
+demandFromTraffic(Traffic &traffic, long long nodes, Rng &rng,
+                  int samples_per_node)
+{
+    if (samples_per_node < 1)
+        throw std::invalid_argument("demandFromTraffic: samples < 1");
+    DemandMatrix m;
+    m.nodes = nodes;
+    m.demands.reserve(static_cast<std::size_t>(nodes) *
+                      static_cast<std::size_t>(samples_per_node));
+    traffic.init(nodes, rng);
+    const double w = 1.0 / samples_per_node;
+    for (long long src = 0; src < nodes; ++src)
+        for (int k = 0; k < samples_per_node; ++k) {
+            long long dst = traffic.dest(src, rng);
+            if (dst != src && dst >= 0)
+                m.demands.push_back({src, dst, w});
+        }
+    normalize(m);
+    return m;
+}
+
+DemandMatrix
+exactUniformDemand(long long nodes)
+{
+    DemandMatrix m;
+    m.nodes = nodes;
+    if (nodes < 2)
+        return m;
+    m.demands.reserve(static_cast<std::size_t>(nodes) * (nodes - 1));
+    const double w = 1.0 / static_cast<double>(nodes - 1);
+    for (long long src = 0; src < nodes; ++src)
+        for (long long dst = 0; dst < nodes; ++dst)
+            if (dst != src)
+                m.demands.push_back({src, dst, w});
+    return m;
+}
+
+DemandMatrix
+makeDemandMatrix(const std::string &pattern, long long nodes,
+                 std::uint64_t seed, int uniform_samples,
+                 long long shift_stride)
+{
+    Rng rng(seed);
+    if (pattern == "uniform") {
+        if (uniform_samples <= 0)
+            return exactUniformDemand(nodes);
+        // Sampled uniform must stay doubly stochastic: independent
+        // per-source destination draws pile ~ln n / ln ln n demands on
+        // some destination, and that ejection hot spot - a sampling
+        // artifact, absent from the true uniform matrix - would
+        // dominate the concurrent optimum.  A union of independent
+        // fixed-point-free permutations keeps every row *and* column
+        // summing to 1 while converging to uniform as samples grow.
+        DemandMatrix m;
+        m.nodes = nodes;
+        m.demands.reserve(static_cast<std::size_t>(nodes) *
+                          static_cast<std::size_t>(uniform_samples));
+        const double w = 1.0 / uniform_samples;
+        for (int k = 0; k < uniform_samples; ++k) {
+            PermutationTraffic t;
+            Rng rk(deriveSeed(seed, static_cast<std::uint64_t>(k), 0));
+            t.init(nodes, rk);
+            for (long long src = 0; src < nodes; ++src) {
+                long long dst = t.dest(src, rk);
+                if (dst != src)
+                    m.demands.push_back({src, dst, w});
+            }
+        }
+        normalize(m);
+        return m;
+    }
+    if (pattern == "shift") {
+        ShiftTraffic t(shift_stride);
+        return demandFromTraffic(t, nodes, rng, 1);
+    }
+    auto t = makeTraffic(pattern);
+    return demandFromTraffic(*t, nodes, rng, 1);
+}
+
+} // namespace rfc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sparse terminal-to-terminal demand matrices for the flow model.
+ *
+ * The flow-level throughput engine answers "who saturates first" for a
+ * *demand matrix* rather than a packet stream.  This module turns the
+ * synthetic traffic patterns of `sim/traffic` (Section 6 of the paper)
+ * into sparse matrices of aggregated demands, normalized so that every
+ * source terminal offers total weight 1.0 - i.e. one fully saturated
+ * injection link - which makes the solver's concurrent throughput
+ * directly comparable to the packet simulator's accepted
+ * phits/node/cycle.
+ *
+ * Fixed patterns (random-pairing, fixed-random, permutation, shift)
+ * sample each source once and are exact.  Uniform traffic is a dense
+ * N x N matrix; at paper scale it is approximated by the average of a
+ * configurable number of independent random permutations - a sparse
+ * doubly stochastic matrix, so the approximation introduces no
+ * injection or ejection hot spots - and `exactUniformDemand` provides
+ * the dense matrix for the small instances used in tests and
+ * cross-validation.
+ */
+#ifndef RFC_FLOW_DEMAND_HPP
+#define RFC_FLOW_DEMAND_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+
+/** One aggregated terminal-to-terminal demand (src != dst). */
+struct Demand
+{
+    long long src = 0;
+    long long dst = 0;
+    double weight = 0.0;  //!< offered phits/cycle at full injection
+};
+
+/** Sparse demand matrix over terminals, sorted by (src, dst), unique. */
+struct DemandMatrix
+{
+    long long nodes = 0;          //!< terminal count of the network
+    std::vector<Demand> demands;  //!< aggregated, (src, dst)-sorted
+
+    /** Sum of all demand weights. */
+    double totalWeight() const;
+
+    /** Largest summed weight offered by any single source terminal. */
+    double maxInjection() const;
+
+    /** Largest summed weight targeting any single destination terminal. */
+    double maxEjection() const;
+};
+
+/**
+ * Sample @p samples_per_node destinations per source from @p traffic
+ * (each with weight 1/samples), merging duplicate (src, dst) pairs and
+ * dropping self-demands.  One sample reproduces a fixed pattern
+ * exactly; several approximate a per-packet-random one.  The pattern
+ * is init()-ed with @p rng, so the matrix is a deterministic function
+ * of the seed.
+ */
+DemandMatrix demandFromTraffic(Traffic &traffic, long long nodes,
+                               Rng &rng, int samples_per_node = 1);
+
+/** The exact uniform matrix: weight 1/(N-1) for every ordered pair. */
+DemandMatrix exactUniformDemand(long long nodes);
+
+/**
+ * Demand matrix by pattern name: `uniform` (the average of
+ * @p uniform_samples independent fixed-point-free permutations; pass
+ * <= 0 for the exact dense matrix), the `makeTraffic` patterns
+ * (`random-pairing`, `fixed-random`, `permutation`), and `shift`
+ * (adversarial stride
+ * @p shift_stride, the "every leaf floods its neighbor leaf" pattern
+ * when the stride equals terminals-per-leaf).
+ */
+DemandMatrix makeDemandMatrix(const std::string &pattern, long long nodes,
+                              std::uint64_t seed, int uniform_samples = 4,
+                              long long shift_stride = 1);
+
+} // namespace rfc
+
+#endif // RFC_FLOW_DEMAND_HPP

@@ -1,0 +1,108 @@
+#include "flow/paths.hpp"
+
+#include <algorithm>
+
+namespace rfc {
+
+UpDownEcmpPaths::UpDownEcmpPaths(const FoldedClos &fc,
+                                 const UpDownOracle &oracle, int max_paths,
+                                 std::uint64_t seed)
+    : fc_(fc), oracle_(oracle), max_paths_(std::max(1, max_paths)),
+      seed_(seed)
+{}
+
+bool
+UpDownEcmpPaths::enumerate(int s, int ups, int dst, Path &prefix,
+                           std::vector<Path> &out) const
+{
+    prefix.push_back(s);
+    bool ok = true;
+    if (s == dst && ups == 0) {
+        if (static_cast<int>(out.size()) >= max_paths_)
+            ok = false;
+        else
+            out.push_back(prefix);
+    } else {
+        std::vector<int> choices;
+        if (ups > 0)
+            oracle_.upChoices(fc_, s, dst, choices);
+        else
+            oracle_.downChoices(fc_, s, dst, choices);
+        const auto &next = ups > 0 ? fc_.up(s) : fc_.down(s);
+        for (int k : choices) {
+            if (!enumerate(next[k], ups > 0 ? ups - 1 : 0, dst, prefix,
+                           out)) {
+                ok = false;
+                break;
+            }
+        }
+    }
+    prefix.pop_back();
+    return ok;
+}
+
+void
+UpDownEcmpPaths::samplePath(int src, int ups, int dst, Rng &rng,
+                            Path &out) const
+{
+    out.clear();
+    int s = src;
+    out.push_back(s);
+    std::vector<int> choices;
+    for (int u = ups; u > 0; --u) {
+        oracle_.upChoices(fc_, s, dst, choices);
+        s = fc_.up(s)[choices[rng.uniform(choices.size())]];
+        out.push_back(s);
+    }
+    while (s != dst) {
+        oracle_.downChoices(fc_, s, dst, choices);
+        s = fc_.down(s)[choices[rng.uniform(choices.size())]];
+        out.push_back(s);
+    }
+}
+
+void
+UpDownEcmpPaths::paths(int src, int dst, std::vector<Path> &out) const
+{
+    out.clear();
+    if (src == dst) {
+        out.push_back({src});
+        return;
+    }
+    int ups = oracle_.minUps(src, dst);
+    if (ups < 0)
+        return;  // no up/down route (faulted network)
+
+    Path prefix;
+    prefix.reserve(2 * ups + 1);
+    if (enumerate(src, ups, dst, prefix, out))
+        return;  // complete ECMP set fits the cap
+
+    // Cap exceeded: deterministic seeded sample of distinct paths.
+    out.clear();
+    Rng rng(deriveSeed(seed_, static_cast<std::uint64_t>(src),
+                       static_cast<std::uint64_t>(dst)));
+    Path p;
+    int misses = 0;
+    while (static_cast<int>(out.size()) < max_paths_ &&
+           misses < 4 * max_paths_) {
+        samplePath(src, ups, dst, rng, p);
+        if (std::find(out.begin(), out.end(), p) == out.end())
+            out.push_back(p);
+        else
+            ++misses;
+    }
+    std::sort(out.begin(), out.end());
+}
+
+void
+KspPaths::paths(int src, int dst, std::vector<Path> &out) const
+{
+    if (src == dst) {
+        out.assign(1, {src});
+        return;
+    }
+    out = kShortestPaths(g_, src, dst, k_);
+}
+
+} // namespace rfc

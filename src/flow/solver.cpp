@@ -1,0 +1,444 @@
+#include "flow/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/threadpool.hpp"
+
+namespace rfc {
+
+std::int32_t
+FlowProblem::addLink(double capacity)
+{
+    if (capacity <= 0.0)
+        throw std::invalid_argument("FlowProblem: capacity must be > 0");
+    cap_.push_back(capacity);
+    return static_cast<std::int32_t>(cap_.size() - 1);
+}
+
+std::size_t
+FlowProblem::addDemand(double weight)
+{
+    if (weight <= 0.0)
+        throw std::invalid_argument("FlowProblem: weight must be > 0");
+    weight_.push_back(weight);
+    first_path_.push_back(numPathsTotal());
+    return weight_.size() - 1;
+}
+
+void
+FlowProblem::addPath(const std::vector<std::int32_t> &links)
+{
+    if (weight_.empty())
+        throw std::logic_error("FlowProblem: addPath before addDemand");
+    if (links.empty())
+        throw std::invalid_argument("FlowProblem: empty path");
+    for (std::int32_t l : links)
+        if (l < 0 || l >= numLinks())
+            throw std::out_of_range("FlowProblem: bad link id in path");
+    path_links_.insert(path_links_.end(), links.begin(), links.end());
+    path_off_.push_back(static_cast<std::int64_t>(path_links_.size()));
+}
+
+namespace {
+
+/** fn(i) for i in [lo, hi), on the pool when one is given. */
+template <typename Fn>
+void
+runRange(ThreadPool *pool, std::size_t lo, std::size_t hi, Fn &&fn)
+{
+    if (pool && pool->size() > 0 && hi - lo > 1) {
+        parallelFor(*pool, hi - lo,
+                    [&](std::size_t k) { fn(lo + k); });
+    } else {
+        for (std::size_t i = lo; i < hi; ++i)
+            fn(i);
+    }
+}
+
+/**
+ * Shared builder: enumerate candidate paths per demand (parallel),
+ * then assemble links, lazily registered terminal links and the CSR
+ * path storage in demand order (serial, hence deterministic).
+ */
+template <typename SwitchOf, typename LinkId>
+FlowProblem
+buildProblemImpl(std::int32_t num_switch_links, SwitchOf switch_of,
+                 LinkId link_id, const PathProvider &provider,
+                 const DemandMatrix &dm, ThreadPool *pool)
+{
+    std::vector<std::vector<std::vector<std::int32_t>>> conv(
+        dm.demands.size());
+    runRange(pool, 0, dm.demands.size(), [&](std::size_t i) {
+        const Demand &d = dm.demands[i];
+        std::vector<Path> ps;
+        provider.paths(switch_of(d.src), switch_of(d.dst), ps);
+        auto &out = conv[i];
+        out.reserve(ps.size());
+        std::vector<std::int32_t> links;
+        for (const Path &p : ps) {
+            links.clear();
+            links.reserve(p.size() + 1);
+            links.push_back(0);  // placeholder for the injection link
+            bool ok = true;
+            for (std::size_t h = 0; h + 1 < p.size(); ++h) {
+                std::int32_t id = link_id(p[h], p[h + 1]);
+                if (id < 0) {
+                    ok = false;
+                    break;
+                }
+                links.push_back(id);
+            }
+            if (ok)
+                out.push_back(links);
+        }
+    });
+
+    FlowProblem prob;
+    for (std::int32_t l = 0; l < num_switch_links; ++l)
+        prob.addLink(1.0);
+    std::unordered_map<long long, std::int32_t> inj, ej;
+    for (std::size_t i = 0; i < dm.demands.size(); ++i) {
+        const Demand &d = dm.demands[i];
+        prob.addDemand(d.weight);
+        auto [ii, inew] = inj.try_emplace(d.src, 0);
+        if (inew)
+            ii->second = prob.addLink(1.0);
+        auto [ei, enew] = ej.try_emplace(d.dst, 0);
+        if (enew)
+            ei->second = prob.addLink(1.0);
+        for (auto &links : conv[i]) {
+            links.front() = ii->second;
+            links.push_back(ei->second);
+            prob.addPath(links);
+        }
+        conv[i] = {};  // release as we go
+    }
+    return prob;
+}
+
+} // namespace
+
+FlowProblem
+buildClosFlowProblem(const FoldedClos &fc, const PathProvider &provider,
+                     const DemandMatrix &dm, ThreadPool *pool)
+{
+    // Directed link ids: per switch s, up ports first then down ports,
+    // at base offset off[s] (one id per port, matching the simulator's
+    // one-phit-per-cycle-per-direction links).
+    const int n = fc.numSwitches();
+    std::vector<std::int64_t> off(static_cast<std::size_t>(n) + 1, 0);
+    for (int s = 0; s < n; ++s)
+        off[s + 1] = off[s] + static_cast<std::int64_t>(fc.up(s).size()) +
+                     static_cast<std::int64_t>(fc.down(s).size());
+
+    auto link_id = [&](int a, int b) -> std::int32_t {
+        const auto &up = fc.up(a);
+        for (std::size_t k = 0; k < up.size(); ++k)
+            if (up[k] == b)
+                return static_cast<std::int32_t>(off[a] + k);
+        const auto &down = fc.down(a);
+        for (std::size_t k = 0; k < down.size(); ++k)
+            if (down[k] == b)
+                return static_cast<std::int32_t>(off[a] + up.size() + k);
+        return -1;
+    };
+    auto switch_of = [&](long long t) { return fc.leafOfTerminal(t); };
+    return buildProblemImpl(static_cast<std::int32_t>(off[n]), switch_of,
+                            link_id, provider, dm, pool);
+}
+
+FlowProblem
+buildGraphFlowProblem(const Graph &g, int hosts_per_switch,
+                      const PathProvider &provider, const DemandMatrix &dm,
+                      ThreadPool *pool)
+{
+    const int n = g.numVertices();
+    std::vector<std::int64_t> off(static_cast<std::size_t>(n) + 1, 0);
+    for (int v = 0; v < n; ++v)
+        off[v + 1] = off[v] + g.degree(v);
+
+    auto link_id = [&](int a, int b) -> std::int32_t {
+        const auto &nb = g.neighbors(a);
+        for (std::size_t k = 0; k < nb.size(); ++k)
+            if (nb[k] == b)
+                return static_cast<std::int32_t>(off[a] + k);
+        return -1;
+    };
+    auto switch_of = [&](long long t) {
+        return static_cast<int>(t / hosts_per_switch);
+    };
+    return buildProblemImpl(static_cast<std::int32_t>(off[n]), switch_of,
+                            link_id, provider, dm, pool);
+}
+
+FlowSolution
+solveMaxConcurrentFlow(const FlowProblem &p, const SolveOptions &opt)
+{
+    FlowSolution sol;
+    const std::int32_t nl = p.numLinks();
+    sol.utilization.assign(static_cast<std::size_t>(nl), 0.0);
+    sol.path_flow.assign(p.numPathsTotal(), 0.0);
+
+    std::vector<std::size_t> active;
+    active.reserve(p.numDemands());
+    for (std::size_t d = 0; d < p.numDemands(); ++d) {
+        if (p.numPaths(d) > 0)
+            active.push_back(d);
+        else
+            ++sol.unrouted_demands;
+    }
+    sol.routed_demands = active.size();
+    if (active.empty()) {
+        sol.converged = true;
+        return sol;
+    }
+
+    std::vector<double> w(static_cast<std::size_t>(nl));
+    std::vector<double> inv_cap(static_cast<std::size_t>(nl));
+    std::vector<double> load(static_cast<std::size_t>(nl), 0.0);
+    for (std::int32_t l = 0; l < nl; ++l) {
+        inv_cap[l] = 1.0 / p.capacity(l);
+        w[l] = inv_cap[l];
+    }
+
+    std::vector<double> raw_flow(p.numPathsTotal(), 0.0);
+    std::vector<std::size_t> choice(active.size());
+    std::vector<double> mincost(active.size());
+
+    // Cheapest candidate path of active demand i under current w;
+    // ties go to the lowest path id (determinism).
+    auto argmin = [&](std::size_t i) {
+        std::size_t d = active[i];
+        std::size_t pb = p.pathBegin(d), np = p.numPaths(d);
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t bestp = pb;
+        for (std::size_t q = pb; q < pb + np; ++q) {
+            const std::int32_t *ls = p.pathLinks(q);
+            std::size_t len = p.pathLength(q);
+            double c = 0.0;
+            for (std::size_t k = 0; k < len; ++k)
+                c += w[ls[k]];
+            if (c < best) {
+                best = c;
+                bestp = q;
+            }
+        }
+        choice[i] = bestp;
+        mincost[i] = best;
+    };
+
+    const double log_eps = std::log1p(opt.epsilon);
+    const std::size_t block =
+        std::max<std::size_t>(1, static_cast<std::size_t>(opt.block));
+    const int max_phases = std::max(1, opt.max_phases);
+    const int dual_every = std::max(1, opt.dual_every);
+    double congestion = 0.0;
+    double dual_best = std::numeric_limits<double>::infinity();
+    double wmax = *std::max_element(w.begin(), w.end());
+
+    std::vector<std::int32_t> touched;
+    std::vector<double> delta(static_cast<std::size_t>(nl), 0.0);
+
+    int t = 0;
+    bool converged = false;
+    while (t < max_phases && !converged) {
+        ++t;
+        for (std::size_t blo = 0; blo < active.size(); blo += block) {
+            std::size_t bhi = std::min(blo + block, active.size());
+            runRange(opt.pool, blo, bhi, argmin);
+            touched.clear();
+            for (std::size_t i = blo; i < bhi; ++i) {
+                double wt = p.weight(active[i]);
+                std::size_t q = choice[i];
+                raw_flow[q] += wt;
+                const std::int32_t *ls = p.pathLinks(q);
+                std::size_t len = p.pathLength(q);
+                for (std::size_t k = 0; k < len; ++k) {
+                    std::int32_t l = ls[k];
+                    if (delta[l] == 0.0)
+                        touched.push_back(l);
+                    delta[l] += wt;
+                }
+            }
+            for (std::int32_t l : touched) {
+                load[l] += delta[l];
+                congestion = std::max(congestion, load[l] * inv_cap[l]);
+                // Exponent-proportional multiplicative update; the cap
+                // keeps one grossly oversubscribed block from
+                // overflowing (any positive weights stay a valid dual).
+                double e = std::min(log_eps * delta[l] * inv_cap[l], 60.0);
+                w[l] *= std::exp(e);
+                wmax = std::max(wmax, w[l]);
+                delta[l] = 0.0;
+            }
+            // Uniform rescale preserves argmin order and dual ratios.
+            if (wmax > 1e200) {
+                for (auto &x : w)
+                    x /= wmax;
+                wmax = 1.0;
+            }
+        }
+
+        if (t % dual_every == 0 || t == max_phases) {
+            runRange(opt.pool, 0, active.size(), argmin);
+            double dist_sum = 0.0;
+            for (std::size_t i = 0; i < active.size(); ++i)
+                dist_sum += p.weight(active[i]) * mincost[i];
+            double cap_sum = 0.0;
+            for (std::int32_t l = 0; l < nl; ++l)
+                cap_sum += p.capacity(l) * w[l];
+            if (dist_sum > 0.0)
+                dual_best = std::min(dual_best, cap_sum / dist_sum);
+            if (congestion > 0.0 &&
+                t / congestion >= (1.0 - opt.epsilon) * dual_best)
+                converged = true;
+        }
+    }
+
+    sol.phases = t;
+    sol.converged = converged;
+    if (congestion <= 0.0)
+        return sol;  // paths with no capacitated links cannot occur
+    sol.throughput = t / congestion;
+    sol.dual_bound = dual_best;
+    double inv_cong = 1.0 / congestion;
+    for (std::int32_t l = 0; l < nl; ++l)
+        sol.utilization[l] = load[l] * inv_cap[l] * inv_cong;
+    // Phase flow scaled by worst congestion: demand d's paths carry
+    // t * w_d / congestion = lambda * w_d in total.
+    for (std::size_t q = 0; q < raw_flow.size(); ++q)
+        sol.path_flow[q] = raw_flow[q] * inv_cong;
+    return sol;
+}
+
+EcmpFluidResult
+ecmpFluid(const FlowProblem &p, ThreadPool *pool)
+{
+    EcmpFluidResult r;
+    const std::size_t nd = p.numDemands();
+    const std::int32_t nl = p.numLinks();
+    r.utilization.assign(static_cast<std::size_t>(nl), 0.0);
+    r.demand_throughput.assign(nd, 0.0);
+    if (nd == 0)
+        return r;
+
+    // Sparse link-load accumulation over a fixed demand partition:
+    // each range accumulates (link, contribution) pairs in demand
+    // order, sorts stably by link and reduces; ranges merge in index
+    // order, so the result is bit-identical at any thread count.
+    constexpr std::size_t kRanges = 32;
+    std::vector<std::vector<std::pair<std::int32_t, double>>> parts(
+        kRanges);
+    runRange(pool, 0, kRanges, [&](std::size_t rg) {
+        std::size_t lo = nd * rg / kRanges, hi = nd * (rg + 1) / kRanges;
+        auto &acc = parts[rg];
+        for (std::size_t d = lo; d < hi; ++d) {
+            std::size_t np = p.numPaths(d);
+            if (np == 0)
+                continue;
+            double c = p.weight(d) / static_cast<double>(np);
+            std::size_t pb = p.pathBegin(d);
+            for (std::size_t q = pb; q < pb + np; ++q) {
+                const std::int32_t *ls = p.pathLinks(q);
+                std::size_t len = p.pathLength(q);
+                for (std::size_t k = 0; k < len; ++k)
+                    acc.emplace_back(ls[k], c);
+            }
+        }
+        std::stable_sort(acc.begin(), acc.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+            if (out > 0 && acc[out - 1].first == acc[i].first)
+                acc[out - 1].second += acc[i].second;
+            else
+                acc[out++] = acc[i];
+        }
+        acc.resize(out);
+    });
+    for (const auto &acc : parts)
+        for (const auto &[l, v] : acc)
+            r.utilization[l] += v;
+
+    double maxu = 0.0;
+    for (std::int32_t l = 0; l < nl; ++l) {
+        r.utilization[l] /= p.capacity(l);
+        maxu = std::max(maxu, r.utilization[l]);
+    }
+    r.saturation = maxu > 0.0 ? 1.0 / maxu : 0.0;
+
+    runRange(pool, 0, nd, [&](std::size_t d) {
+        std::size_t np = p.numPaths(d);
+        if (np == 0)
+            return;
+        double m = 0.0;
+        std::size_t pb = p.pathBegin(d);
+        for (std::size_t q = pb; q < pb + np; ++q) {
+            const std::int32_t *ls = p.pathLinks(q);
+            std::size_t len = p.pathLength(q);
+            for (std::size_t k = 0; k < len; ++k)
+                m = std::max(m, r.utilization[ls[k]]);
+        }
+        r.demand_throughput[d] = m > 0.0 ? 1.0 / m : 0.0;
+    });
+
+    double worst = std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+    std::size_t routed = 0;
+    for (std::size_t d = 0; d < nd; ++d) {
+        if (p.numPaths(d) == 0)
+            continue;
+        worst = std::min(worst, r.demand_throughput[d]);
+        sum += r.demand_throughput[d];
+        ++routed;
+    }
+    r.worst = routed ? worst : 0.0;
+    r.average = routed ? sum / static_cast<double>(routed) : 0.0;
+    return r;
+}
+
+double
+cutThroughputBound(const FoldedClos &fc, const UpDownOracle &oracle,
+                   const DemandMatrix &dm, const DynBitset &leaf_in_a)
+{
+    const int n = fc.numSwitches();
+    const int leaves = fc.numLeaves();
+    std::vector<char> side(static_cast<std::size_t>(n));
+    for (int s = 0; s < leaves; ++s)
+        side[s] = leaf_in_a.test(static_cast<std::size_t>(s)) ? 0 : 1;
+    for (int s = leaves; s < n; ++s) {
+        DynBitset b = oracle.below(s);
+        std::size_t total = b.count();
+        b &= leaf_in_a;
+        side[s] = 2 * b.count() >= total ? 0 : 1;
+    }
+
+    double cut = 0.0;
+    for (const ClosLink &lk : fc.links())
+        if (side[lk.lower] != side[lk.upper])
+            cut += 1.0;
+
+    double dem_ab = 0.0, dem_ba = 0.0;
+    for (const Demand &d : dm.demands) {
+        char sa = side[fc.leafOfTerminal(d.src)];
+        char sb = side[fc.leafOfTerminal(d.dst)];
+        if (sa == 0 && sb == 1)
+            dem_ab += d.weight;
+        else if (sa == 1 && sb == 0)
+            dem_ba += d.weight;
+    }
+    double bound = std::numeric_limits<double>::infinity();
+    if (dem_ab > 0.0)
+        bound = std::min(bound, cut / dem_ab);
+    if (dem_ba > 0.0)
+        bound = std::min(bound, cut / dem_ba);
+    return bound;
+}
+
+} // namespace rfc

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * LP-free maximum concurrent flow over explicit candidate paths.
+ *
+ * The throughput question behind Figures 8-10 and 12 - at what fraction
+ * of full injection does the network saturate, and who saturates first -
+ * is a *maximum concurrent flow* problem: maximize lambda such that
+ * every demand d can route lambda * w_d simultaneously within link
+ * capacities.  The topology-design literature the paper argues against
+ * (Jellyfish, "High Throughput Data Center Topology Design") answers it
+ * with an LP; this module answers it with the Garg-Konemann
+ * multiplicative-weights approximation restricted to each demand's
+ * candidate path set, which needs no external solver and runs at
+ * paper scale (hundreds of thousands of demands) in seconds:
+ *
+ *  - phases repeatedly route each demand along its currently cheapest
+ *    candidate path under exponential link weights (weight grows with
+ *    accumulated relative load);
+ *  - after t phases, scaling all flow by the worst link congestion
+ *    yields a *feasible* solution delivering lambda = t / congestion of
+ *    every demand - a primal lower bound that holds unconditionally;
+ *  - LP weak duality gives a certificate: for any positive link costs
+ *    w, sum(cap_l * w_l) / sum_d(w_d * mindist_w(d)) bounds the
+ *    path-restricted optimum from above.  The solver tracks the best
+ *    such bound and stops when primal >= (1 - epsilon) * dual.
+ *
+ * The returned per-path flows are the explicit feasibility
+ * certificate: tests recompute link loads from them and verify both
+ * capacity feasibility and per-demand delivery at lambda.
+ *
+ * A one-pass ECMP fluid model (`ecmpFluid`) complements the optimal
+ * split: every demand divides evenly over its candidate paths - what
+ * per-hop random ECMP does in expectation - giving the per-demand
+ * throughput distribution ("who saturates first") that the
+ * concurrent optimum, which equalizes all demands, cannot show.
+ *
+ * Parallelism: cheapest-path selection and sparse link-load
+ * accumulation run across demands on a `util/threadpool`, partitioned
+ * by fixed demand ranges and merged in index order, so results are
+ * bit-identical at any thread count (the src/exp determinism
+ * contract).
+ */
+#ifndef RFC_FLOW_SOLVER_HPP
+#define RFC_FLOW_SOLVER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "clos/folded_clos.hpp"
+#include "flow/demand.hpp"
+#include "flow/paths.hpp"
+#include "util/bitset.hpp"
+
+namespace rfc {
+
+class ThreadPool;
+
+/**
+ * A capacitated directed-link network with per-demand candidate paths.
+ *
+ * Links are abstract ids with a capacity; paths are link-id sequences.
+ * Build directly for hand-crafted instances (tests), or via
+ * `buildClosFlowProblem` / `buildGraphFlowProblem`, which translate a
+ * topology + path provider + demand matrix into link ids: one directed
+ * unit-capacity link per switch port plus one injection and one
+ * ejection link per terminal that appears in the demand matrix.
+ */
+class FlowProblem
+{
+  public:
+    /** Add a link with @p capacity > 0; returns its id. */
+    std::int32_t addLink(double capacity);
+
+    /** Add a demand with @p weight > 0; paths are added afterwards. */
+    std::size_t addDemand(double weight);
+
+    /**
+     * Add a candidate path (non-empty link-id sequence) to the most
+     * recently added demand.
+     */
+    void addPath(const std::vector<std::int32_t> &links);
+
+    std::int32_t numLinks() const
+    {
+        return static_cast<std::int32_t>(cap_.size());
+    }
+    std::size_t numDemands() const { return weight_.size(); }
+    std::size_t numPathsTotal() const { return path_off_.size() - 1; }
+
+    double capacity(std::int32_t l) const { return cap_[l]; }
+    double weight(std::size_t d) const { return weight_[d]; }
+
+    /** Global id of demand @p d's first path. */
+    std::size_t pathBegin(std::size_t d) const { return first_path_[d]; }
+    /** Number of candidate paths of demand @p d (0 = unroutable). */
+    std::size_t
+    numPaths(std::size_t d) const
+    {
+        return (d + 1 < first_path_.size() ? first_path_[d + 1]
+                                           : numPathsTotal()) -
+               first_path_[d];
+    }
+
+    /** Links of global path @p p. */
+    const std::int32_t *
+    pathLinks(std::size_t p) const
+    {
+        return path_links_.data() + path_off_[p];
+    }
+    std::size_t
+    pathLength(std::size_t p) const
+    {
+        return static_cast<std::size_t>(path_off_[p + 1] - path_off_[p]);
+    }
+
+  private:
+    std::vector<double> cap_;
+    std::vector<double> weight_;
+    std::vector<std::size_t> first_path_;   //!< per demand
+    std::vector<std::int64_t> path_off_ = {0};  //!< per path, +sentinel
+    std::vector<std::int32_t> path_links_;
+};
+
+/**
+ * Build the flow problem for a folded Clos: demands route over
+ * @p provider paths between their endpoint leaves, every switch port
+ * becomes a directed unit-capacity link, and each terminal appearing
+ * in @p dm gets a unit injection/ejection link.  Demand order (and
+ * therefore every solver output) follows dm.demands.  Path enumeration
+ * parallelizes across demands on @p pool (deterministically; nullptr =
+ * serial).
+ */
+FlowProblem buildClosFlowProblem(const FoldedClos &fc,
+                                 const PathProvider &provider,
+                                 const DemandMatrix &dm,
+                                 ThreadPool *pool = nullptr);
+
+/**
+ * Same over a direct switch graph (RRN/Jellyfish) with
+ * @p hosts_per_switch terminals attached to each switch.
+ */
+FlowProblem buildGraphFlowProblem(const Graph &g, int hosts_per_switch,
+                                  const PathProvider &provider,
+                                  const DemandMatrix &dm,
+                                  ThreadPool *pool = nullptr);
+
+/** Solver knobs; the defaults suit every bench in this repository. */
+struct SolveOptions
+{
+    double epsilon = 0.05;  //!< stop when primal >= (1-eps) * dual
+    int max_phases = 400;   //!< phase cap (each routes every demand once)
+    int block = 2048;       //!< demands per frozen-weight update block
+    int dual_every = 10;    //!< phases between dual-bound evaluations
+    ThreadPool *pool = nullptr;  //!< optional worker pool (deterministic)
+};
+
+/** Certified approximate maximum concurrent flow. */
+struct FlowSolution
+{
+    /**
+     * Feasible concurrent throughput lambda: every routed demand d
+     * simultaneously receives lambda * w_d within link capacities.
+     * For demand matrices normalized to unit injection this is
+     * directly comparable to the packet simulator's accepted
+     * phits/node/cycle at saturation.
+     */
+    double throughput = 0.0;
+    double dual_bound = 0.0;  //!< upper bound on path-restricted optimum
+    bool converged = false;   //!< primal >= (1-eps) * dual reached
+    int phases = 0;
+
+    std::size_t routed_demands = 0;
+    std::size_t unrouted_demands = 0;  //!< demands with no candidate path
+
+    /** Per link: load / capacity at lambda (the bottlenecks are 1.0). */
+    std::vector<double> utilization;
+
+    /**
+     * Per global path: feasible flow at lambda (the certificate:
+     * summing over a demand's paths gives lambda * w_d; summing over
+     * paths crossing a link stays within its capacity).
+     */
+    std::vector<double> path_flow;
+};
+
+FlowSolution solveMaxConcurrentFlow(const FlowProblem &problem,
+                                    const SolveOptions &opt = {});
+
+/** One-pass ECMP fluid model: even split over candidate paths. */
+struct EcmpFluidResult
+{
+    /**
+     * Saturation throughput under even ECMP splitting: the injection
+     * fraction at which the hottest link reaches capacity.  Never
+     * exceeds the concurrent-flow dual bound.
+     */
+    double saturation = 0.0;
+
+    /**
+     * Per demand: the injection fraction at which some link this
+     * demand's flow crosses saturates - its personal saturation point.
+     * 0 for unroutable demands.
+     */
+    std::vector<double> demand_throughput;
+
+    /** Per link: relative load at unit injection (before scaling). */
+    std::vector<double> utilization;
+
+    double worst = 0.0;    //!< min demand_throughput over routed demands
+    double average = 0.0;  //!< mean over routed demands
+};
+
+EcmpFluidResult ecmpFluid(const FlowProblem &problem,
+                          ThreadPool *pool = nullptr);
+
+/**
+ * Cut-based throughput upper bound (the Section 4.2 bisection argument
+ * at leaf granularity).  @p leaf_in_a partitions the leaves; upper
+ * switches side with the majority of the leaves below them.  Every
+ * unit of A-to-B demand must cross an A-to-B directed link, so
+ * lambda <= cut capacity / cut demand; the returned value is the
+ * tighter of the two directions.  Feed it the partition found by
+ * `empiricalBisectionParts` (graph/bisection) to turn the paper's
+ * bisection estimates into a checkable bound on the flow solver.
+ * Returns +infinity when no demand crosses the cut.
+ */
+double cutThroughputBound(const FoldedClos &fc, const UpDownOracle &oracle,
+                          const DemandMatrix &dm,
+                          const DynBitset &leaf_in_a);
+
+} // namespace rfc
+
+#endif // RFC_FLOW_SOLVER_HPP

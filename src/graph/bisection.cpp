@@ -61,7 +61,16 @@ cutSize(const Graph &g, const std::vector<char> &side)
 std::size_t
 empiricalBisection(const Graph &g, int restarts, Rng &rng)
 {
+    std::vector<char> side;
+    return empiricalBisectionParts(g, restarts, rng, side);
+}
+
+std::size_t
+empiricalBisectionParts(const Graph &g, int restarts, Rng &rng,
+                        std::vector<char> &side_out)
+{
     int n = g.numVertices();
+    side_out.assign(static_cast<std::size_t>(std::max(n, 0)), 0);
     if (n < 2)
         return 0;
 
@@ -108,7 +117,11 @@ empiricalBisection(const Graph &g, int restarts, Rng &rng)
                 }
             }
         }
-        best = std::min(best, cutSize(g, side));
+        std::size_t cut = cutSize(g, side);
+        if (cut < best) {
+            best = cut;
+            side_out = side;
+        }
     }
     return best;
 }

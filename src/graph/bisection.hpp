@@ -42,6 +42,15 @@ double normalizedBisectionRfc(double radix, int levels);
  */
 std::size_t empiricalBisection(const Graph &g, int restarts, Rng &rng);
 
+/**
+ * As `empiricalBisection`, but also returns the winning partition in
+ * @p side_out (side_out[v] in {0,1}; sides are balanced to within one
+ * vertex).  Lets callers reuse the discovered near-minimal cut, e.g. as
+ * a `cutThroughputBound` partition for the flow solver.
+ */
+std::size_t empiricalBisectionParts(const Graph &g, int restarts, Rng &rng,
+                                    std::vector<char> &side_out);
+
 } // namespace rfc
 
 #endif // RFC_GRAPH_BISECTION_HPP

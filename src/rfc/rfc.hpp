@@ -33,6 +33,10 @@
 #include "clos/rfc.hpp"
 #include "clos/serialize.hpp"
 #include "exp/experiment.hpp"
+#include "exp/flow_experiment.hpp"
+#include "flow/demand.hpp"
+#include "flow/paths.hpp"
+#include "flow/solver.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/bisection.hpp"
 #include "graph/graph.hpp"

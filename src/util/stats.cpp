@@ -1,7 +1,9 @@
 #include "util/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace rfc {
 
@@ -42,6 +44,52 @@ RunningStat::ci95() const
     if (n_ < 2)
         return 0.0;
     return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+namespace {
+
+/** Type-7 quantile of @p s, which must already be sorted. */
+double
+sortedQuantile(const std::vector<double> &s, double q)
+{
+    double pos = q * static_cast<double>(s.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= s.size())
+        return s.back();
+    double frac = pos - static_cast<double>(lo);
+    return s[lo] + frac * (s[lo + 1] - s[lo]);
+}
+
+void
+checkQuantileArgs(const std::vector<double> &samples, double q)
+{
+    if (samples.empty())
+        throw std::invalid_argument("quantile: empty sample set");
+    if (!(q >= 0.0 && q <= 1.0))
+        throw std::invalid_argument("quantile: q outside [0, 1]");
+}
+
+} // namespace
+
+double
+quantile(std::vector<double> samples, double q)
+{
+    checkQuantileArgs(samples, q);
+    std::sort(samples.begin(), samples.end());
+    return sortedQuantile(samples, q);
+}
+
+std::vector<double>
+quantiles(std::vector<double> samples, const std::vector<double> &qs)
+{
+    for (double q : qs)
+        checkQuantileArgs(samples, q);
+    std::sort(samples.begin(), samples.end());
+    std::vector<double> out;
+    out.reserve(qs.size());
+    for (double q : qs)
+        out.push_back(sortedQuantile(samples, q));
+    return out;
 }
 
 double

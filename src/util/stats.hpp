@@ -43,6 +43,25 @@ class RunningStat
 };
 
 /**
+ * The @p q quantile (0 <= q <= 1) of @p samples by linear
+ * interpolation between order statistics (the "type 7" definition of
+ * Hyndman & Fan, the R/NumPy default): q = 0 is the minimum, q = 1
+ * the maximum, q = 0.5 the median.  Takes its input by value (the
+ * selection reorders it).  Throws std::invalid_argument on an empty
+ * sample set or q outside [0, 1].  Used for the per-demand throughput
+ * distributions of the flow engine (worst percentiles, not just the
+ * worst demand).
+ */
+double quantile(std::vector<double> samples, double q);
+
+/**
+ * Several quantiles of one sample set: quantile(samples, qs[i]) for
+ * every i, sharing a single sort of the data.
+ */
+std::vector<double> quantiles(std::vector<double> samples,
+                              const std::vector<double> &qs);
+
+/**
  * Pearson chi-square statistic sum((O_i - E_i)^2 / E_i) for observed
  * counts against expected counts (same length; zero-expected cells
  * with zero observations contribute nothing, otherwise infinity).

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Cross-validation of the flow-level throughput engine against the
+ * packet simulator and the bisection bound, on small instances of
+ * three topology families (CFT, RFC, OFT).
+ *
+ * Methodology (documented in EXPERIMENTS.md): the ECMP fluid
+ * saturation is an upper bound on what the virtual cut-through
+ * simulator can accept at offered load 1.0 - the fluid model has no
+ * flow control, finite buffers or head-of-line blocking.  Measured
+ * VCT efficiency on these instances is 0.75-0.85 of fluid saturation
+ * under uniform traffic, so the agreement band asserted here is
+ *
+ *     0.60 * fluid <= accepted <= 1.05 * fluid
+ *
+ * (lower edge loose on purpose: simulator buffer parameters are not
+ * tuned per topology; upper edge allows measurement noise only).
+ * Fixed-random traffic compares the simulator's *average* accepted
+ * load against the fluid model's mean per-demand throughput - the
+ * concurrent worst-case lambda is dominated by the hottest ejection
+ * port, which the simulator's per-source average does not see - with
+ * the wider band 0.50..1.10 (hot-spot queueing is harder on VCT).
+ *
+ * Independently of the simulator, the solver's certified lambda and
+ * the fluid saturation must respect the cut-based throughput bound
+ * induced by the empirical bisection partition of the switch graph.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clos/fat_tree.hpp"
+#include "clos/oft.hpp"
+#include "clos/rfc.hpp"
+#include "flow/demand.hpp"
+#include "flow/paths.hpp"
+#include "flow/solver.hpp"
+#include "graph/bisection.hpp"
+#include "routing/updown.hpp"
+#include "sim/simulator.hpp"
+
+namespace rfc {
+namespace {
+
+struct FlowNumbers
+{
+    double max_concurrent = 0.0;
+    double dual_bound = 0.0;
+    double fluid_saturation = 0.0;
+    double fluid_average = 0.0;
+};
+
+FlowNumbers
+solveFlow(const FoldedClos &fc, const UpDownOracle &oracle,
+          const DemandMatrix &dm)
+{
+    UpDownEcmpPaths provider(fc, oracle, 64);  // exhaustive at R = 8
+    auto problem = buildClosFlowProblem(fc, provider, dm);
+    SolveOptions opt;
+    opt.epsilon = 0.05;
+    opt.max_phases = 1500;
+    auto sol = solveMaxConcurrentFlow(problem, opt);
+    auto fluid = ecmpFluid(problem);
+    return {sol.throughput, sol.dual_bound, fluid.saturation,
+            fluid.average};
+}
+
+double
+simulatedAccepted(const FoldedClos &fc, const UpDownOracle &oracle,
+                  Traffic &traffic)
+{
+    SimConfig cfg;
+    cfg.load = 1.0;
+    cfg.warmup = 500;
+    cfg.measure = 3000;
+    cfg.seed = 21;
+    Simulator sim(fc, oracle, traffic, cfg);
+    return sim.run().accepted;
+}
+
+void
+validateTopology(const FoldedClos &fc, const char *what)
+{
+    SCOPED_TRACE(what);
+    UpDownOracle oracle(fc);
+    ASSERT_TRUE(oracle.routable());
+
+    // --- uniform: fluid saturation vs simulator accepted ------------
+    auto uniform = exactUniformDemand(fc.numTerminals());
+    auto flow = solveFlow(fc, oracle, uniform);
+    EXPECT_LE(flow.max_concurrent, flow.dual_bound + 1e-9);
+    // Even ECMP splitting is feasible, so the certified optimum
+    // cannot fall more than the approximation gap below it.
+    EXPECT_GE(flow.max_concurrent, 0.95 * flow.fluid_saturation - 1e-9);
+
+    UniformTraffic ut;
+    double accepted = simulatedAccepted(fc, oracle, ut);
+    EXPECT_LE(accepted, 1.05 * flow.fluid_saturation);
+    EXPECT_GE(accepted, 0.60 * flow.fluid_saturation);
+
+    // --- fixed-random: fluid mean demand throughput vs accepted -----
+    auto fixed = makeDemandMatrix("fixed-random", fc.numTerminals(), 21);
+    auto fflow = solveFlow(fc, oracle, fixed);
+    FixedRandomTraffic ft;
+    double faccepted = simulatedAccepted(fc, oracle, ft);
+    EXPECT_LE(faccepted, 1.10 * fflow.fluid_average);
+    EXPECT_GE(faccepted, 0.50 * fflow.fluid_average);
+
+    // --- bisection cut bound ----------------------------------------
+    Graph g = fc.toGraph();
+    Rng rng(33);
+    std::vector<char> side;
+    empiricalBisectionParts(g, 4, rng, side);
+    DynBitset leaf_in_a(static_cast<std::size_t>(fc.numLeaves()));
+    for (int s = 0; s < fc.numLeaves(); ++s)
+        if (side[static_cast<std::size_t>(s)] == 0)
+            leaf_in_a.set(static_cast<std::size_t>(s));
+    double bound = cutThroughputBound(fc, oracle, uniform, leaf_in_a);
+    ASSERT_TRUE(std::isfinite(bound));
+    EXPECT_LE(flow.max_concurrent, bound + 1e-9);
+    EXPECT_LE(flow.fluid_saturation, bound + 1e-9);
+}
+
+TEST(FlowValidation, Cft)
+{
+    validateTopology(buildCft(8, 3), "CFT(8,3)");
+}
+
+TEST(FlowValidation, Rfc)
+{
+    Rng rng(17);
+    auto built = buildRfc(8, 3, 32, rng, 50);
+    ASSERT_TRUE(built.routable);
+    validateTopology(built.topology, "RFC(8,3,32)");
+}
+
+TEST(FlowValidation, Oft)
+{
+    validateTopology(buildOft(3, 3), "OFT(q=3,l=3)");
+}
+
+} // namespace
+} // namespace rfc
