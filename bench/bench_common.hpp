@@ -17,6 +17,12 @@
  *              hardware concurrency, env RFC_JOBS).  Results are
  *              bit-identical for any N: seeds derive from
  *              {base seed, grid point, rep}, never from thread order.
+ *   --shards S deterministic intra-trial sharding: each simulation
+ *              partitions its switches into S shards with seed-split
+ *              RNGs.  S is part of the experiment definition (S = 0,
+ *              the default, is the legacy single-stream engine).
+ *   --sim-jobs N  threads advancing the shards of one simulation;
+ *              results are bit-identical for any N at fixed S.
  *
  * Simulation benches declare their trial grids (networks x traffic
  * patterns x offered loads x reps) and hand them to ExperimentEngine
@@ -106,6 +112,14 @@ runPerfScenario(const Options &opts, const std::vector<PerfNetwork> &nets,
         grid.addTraffic(tname);
     grid.loads = loads;
     grid.base = base;
+    // Intra-trial engine options: --shards S runs each simulation on S
+    // deterministic switch shards, --sim-jobs N advances them on N
+    // threads.  The shard count is part of the experiment (it selects
+    // the random streams); the thread count never changes results.
+    grid.base.shards =
+        static_cast<int>(opts.getInt("shards", base.shards));
+    grid.base.jobs =
+        static_cast<int>(opts.getInt("sim-jobs", base.jobs));
     grid.repetitions = repetitions;
 
     ExperimentEngine engine(opts.jobs(), base.seed);

@@ -29,9 +29,12 @@ main(int argc, char **argv)
     Options opts(argc, argv);
     banner(opts, "Figure 8: equal-resources CFT vs RFC (11K scenario)");
     const bool full = opts.fullScale();
+    // --smoke: CI-sized run (seconds, not minutes) that still exercises
+    // the full grid machinery; used by the determinism smoke check.
+    const bool smoke = opts.getBool("smoke", false);
 
     const int radix = static_cast<int>(
-        opts.getInt("radix", full ? 36 : 16));
+        opts.getInt("radix", full ? 36 : (smoke ? 8 : 16)));
     const int levels = 3;
     Rng rng(opts.getInt("seed", 8));
 
@@ -42,7 +45,7 @@ main(int argc, char **argv)
 
     // Radix-reduced RFC variant connecting ~the same terminal count.
     const int small_radix = static_cast<int>(
-        opts.getInt("small-radix", full ? 20 : 12));
+        opts.getInt("small-radix", full ? 20 : (smoke ? 6 : 12)));
     int n1_small = static_cast<int>(cft.numTerminals() / (small_radix / 2));
     if (n1_small % 2)
         ++n1_small;
@@ -61,12 +64,13 @@ main(int argc, char **argv)
               << rfc_small.topology.numTerminals() << "\n\n";
 
     SimConfig base;
-    base.warmup = opts.getInt("warmup", full ? 3000 : 600);
-    base.measure = opts.getInt("measure", full ? 10000 : 2000);
+    base.warmup = opts.getInt("warmup", full ? 3000 : (smoke ? 150 : 600));
+    base.measure =
+        opts.getInt("measure", full ? 10000 : (smoke ? 400 : 2000));
     base.seed = opts.getInt("seed", 8);
-    auto loads = loadRange(opts.getDouble("min-load", 0.2),
-                           opts.getDouble("max-load", 1.0),
-                           static_cast<int>(opts.getInt("points", 7)));
+    auto loads = loadRange(
+        opts.getDouble("min-load", 0.2), opts.getDouble("max-load", 1.0),
+        static_cast<int>(opts.getInt("points", smoke ? 3 : 7)));
     int reps = static_cast<int>(opts.getInt("trials", full ? 5 : 1));
 
     std::vector<PerfNetwork> nets{

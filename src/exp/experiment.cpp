@@ -42,6 +42,7 @@ PointResult::toSimResult() const
     r.generated_packets = std::llround(generated_packets.mean);
     r.suppressed_packets = std::llround(suppressed_packets.mean);
     r.unroutable_packets = std::llround(unroutable_packets.mean);
+    r.perf = perf;
     return r;
 }
 
@@ -181,6 +182,7 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
             pr.trial_seconds_total += trial_seconds[t];
             pr.trial_seconds_max =
                 std::max(pr.trial_seconds_max, trial_seconds[t]);
+            pr.perf.merge(r.perf);
         }
         pr.accepted = toMetricStat(acc);
         pr.avg_latency = toMetricStat(lat);
@@ -274,10 +276,34 @@ writeGridJson(std::ostream &os, const ExperimentGrid &grid,
                     p.reps);
         writeMetric(w, "unroutable_packets", p.unroutable_packets,
                     p.reps);
+        // Engine counters: bit-stable across jobs values (they depend
+        // on the simulated physics only), so they belong outside
+        // "timing" and take part in determinism diffs.
+        w.key("perf");
+        w.beginObject();
+        w.kv("cycles", static_cast<std::int64_t>(p.perf.cycles));
+        w.kv("switch_scans",
+             static_cast<std::int64_t>(p.perf.switch_scans));
+        w.kv("arb_conflicts",
+             static_cast<std::int64_t>(p.perf.arb_conflicts));
+        w.kv("credit_stalls",
+             static_cast<std::int64_t>(p.perf.credit_stalls));
+        w.kv("forwards", static_cast<std::int64_t>(p.perf.forwards));
+        w.key("occupancy");
+        w.beginArray();
+        for (long long b : p.perf.occupancy)
+            w.value(static_cast<std::int64_t>(b));
+        w.endArray();
+        w.endObject();
         w.key("timing");
         w.beginObject();
         w.kv("trial_seconds_total", p.trial_seconds_total);
         w.kv("trial_seconds_max", p.trial_seconds_max);
+        if (p.trial_seconds_total > 0.0)
+            w.kv("cycles_per_sec",
+                 static_cast<double>(p.perf.cycles) *
+                     static_cast<double>(p.reps) /
+                     p.trial_seconds_total);
         w.endObject();
         w.endObject();
     }

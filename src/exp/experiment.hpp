@@ -86,6 +86,13 @@ struct PointResult
     double trial_seconds_max = 0.0;    //!< slowest trial at this point
 
     /**
+     * Engine counters merged over the point's reps (deterministic
+     * fields only: scans, conflicts, stalls, forwards, occupancy;
+     * cycles is the per-trial window length, identical across reps).
+     */
+    PerfCounters perf;
+
+    /**
      * Collapse to the legacy SimResult shape: every field is the
      * per-trial mean (counters rounded to the nearest integer).
      */

@@ -1,0 +1,59 @@
+#include "sim/core/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rfc {
+
+void
+SimConfig::validate() const
+{
+    if (vcs < 1)
+        throw std::invalid_argument("SimConfig: vcs must be >= 1");
+    if (buf_packets < 1)
+        throw std::invalid_argument("SimConfig: buf_packets must be >= 1");
+    if (pkt_phits < 1)
+        throw std::invalid_argument("SimConfig: pkt_phits must be >= 1");
+    if (link_latency < 0)
+        throw std::invalid_argument(
+            "SimConfig: link_latency must be >= 0");
+    if (warmup < 0)
+        throw std::invalid_argument("SimConfig: warmup must be >= 0");
+    if (measure < 1)
+        throw std::invalid_argument(
+            "SimConfig: measurement window is empty (measure must be "
+            ">= 1; check that warmup < total cycles)");
+    if (!(load >= 0.0 && load <= 1.0))
+        throw std::invalid_argument(
+            "SimConfig: load must be within [0, 1], got " +
+            std::to_string(load));
+    if (source_queue < 1)
+        throw std::invalid_argument("SimConfig: source_queue must be >= 1");
+    if (shards < 0)
+        throw std::invalid_argument("SimConfig: shards must be >= 0");
+    if (shards > 256)
+        throw std::invalid_argument("SimConfig: shards must be <= 256");
+    if (shards >= 1 && link_latency < 1)
+        throw std::invalid_argument(
+            "SimConfig: sharded mode needs link_latency >= 1 "
+            "(cross-shard arrivals are exchanged at cycle barriers)");
+    if (route_mode == RouteMode::kValiant && vcs < 2)
+        throw std::invalid_argument("Valiant routing needs vcs >= 2 "
+                                    "(phase-partitioned channels)");
+}
+
+void
+PerfCounters::merge(const PerfCounters &o)
+{
+    cycles = o.cycles > cycles ? o.cycles : cycles;
+    switch_scans += o.switch_scans;
+    arb_conflicts += o.arb_conflicts;
+    credit_stalls += o.credit_stalls;
+    forwards += o.forwards;
+    if (occupancy.size() < o.occupancy.size())
+        occupancy.resize(o.occupancy.size(), 0);
+    for (std::size_t i = 0; i < o.occupancy.size(); ++i)
+        occupancy[i] += o.occupancy[i];
+}
+
+} // namespace rfc

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared configuration and result types of the cycle-driven VCT core.
+ *
+ * Both simulators (`Simulator` for folded Clos, `DirectSimulator` for
+ * Jellyfish-style direct networks) are instantiations of one flow
+ * control engine (sim/core/engine.hpp) and share this configuration:
+ * Table 2 parameters, the warm-up/measurement window, and the
+ * deterministic execution controls.
+ *
+ * Execution modes:
+ *  - `shards == 0` (default): sequential compatibility mode.  One RNG
+ *    drives traffic, injection and arbitration exactly as the original
+ *    single-threaded simulators did, so fixed-seed results reproduce
+ *    the recorded golden baselines bit-for-bit.
+ *  - `shards >= 1`: deterministic sharded mode.  Switches are
+ *    partitioned into `shards` contiguous shards, each advanced with
+ *    its own seed-split RNG under a per-cycle barrier.  Results depend
+ *    on the shard count but NOT on `jobs`: any thread count yields
+ *    bit-identical output, because every draw comes from a per-shard
+ *    stream and all cross-shard effects are exchanged at deterministic
+ *    barrier points.
+ */
+#ifndef RFC_SIM_CORE_CONFIG_HPP
+#define RFC_SIM_CORE_CONFIG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace rfc {
+
+/** Up-phase port selection discipline (folded Clos networks). */
+enum class RouteMode
+{
+    /**
+     * A uniformly random up port among *all* parents from which the
+     * destination stays reachable - not necessarily minimal.  Spreads
+     * concentrated (adversarial) flows over the full ECMP fan-out at
+     * the cost of longer average paths (trades ~2% uniform throughput
+     * for ~10x better worst-case point-to-point bandwidth).
+     */
+    kUpDownRandom,
+    /**
+     * Strictly minimal up/down: only parents on a shortest route.
+     * Default - it reproduces the paper's Figure 8-10 ratios (e.g.
+     * random-pairing RFC ~ 88% of CFT).
+     */
+    kMinimal,
+    /**
+     * Valiant randomized routing: minimal up/down to a uniformly
+     * random intermediate leaf, then minimal up/down to the
+     * destination.  The dragonfly-style baseline the paper contrasts
+     * RFCs with: it caps adversarial degradation at ~50% of peak but
+     * pays double traversal on friendly traffic.  Deadlock freedom
+     * comes from phase-partitioned virtual channels (phase 0 uses the
+     * lower half, phase 1 the upper half), so it requires vcs >= 2.
+     */
+    kValiant,
+};
+
+/** Simulation parameters (defaults = Table 2 of the paper). */
+struct SimConfig
+{
+    int vcs = 4;              //!< virtual channels per port
+    int buf_packets = 4;      //!< buffer depth per VC, in packets
+    int pkt_phits = 16;       //!< packet length in phits
+    int link_latency = 1;     //!< cycles for a header to cross a link
+    long long warmup = 3000;  //!< warm-up cycles (not measured)
+    long long measure = 10000; //!< measured cycles
+    double load = 0.5;        //!< offered load, phits/node/cycle
+    std::uint64_t seed = 1;   //!< RNG seed (experiments are reproducible)
+    int source_queue = 16;    //!< per-terminal source queue, packets
+    RouteMode route_mode = RouteMode::kMinimal;
+
+    /**
+     * 0 = sequential compatibility mode (golden-baseline exact);
+     * >= 1 = deterministic sharded mode with this many switch shards.
+     * The shard count is part of the experiment definition: different
+     * values give different (equally valid) random streams.
+     */
+    int shards = 0;
+
+    /**
+     * Worker threads advancing the shards (clamped to the shard
+     * count; <= 0 selects hardware concurrency).  Pure execution
+     * detail: results are bit-identical at any value.
+     */
+    int jobs = 1;
+
+    /**
+     * Throw std::invalid_argument on any parameter a simulation cannot
+     * run with: vcs or buf_packets or pkt_phits < 1, negative link
+     * latency, empty measurement window (measure < 1, which is also
+     * what a "warmup >= total cycles" misconfiguration reduces to),
+     * negative warmup, load outside [0, 1], source_queue < 1, negative
+     * shard count, or sharded mode with link_latency < 1 (cross-shard
+     * arrivals are exchanged at end-of-cycle barriers, so a zero
+     * latency link cannot be modeled there).
+     */
+    void validate() const;
+};
+
+/**
+ * Cheap always-on performance counters of the core engine.  All
+ * fields except the wall-clock telemetry are deterministic: they
+ * depend only on (config, seed, topology), not on thread count or
+ * machine speed, and are merged across shards in shard order.
+ */
+struct PerfCounters
+{
+    long long cycles = 0;         //!< simulated cycles (warmup + measure)
+    long long switch_scans = 0;   //!< arbitration passes over a switch
+    long long arb_conflicts = 0;  //!< losing candidates in random arbitration
+    long long credit_stalls = 0;  //!< forward attempts blocked on credits
+    long long forwards = 0;       //!< committed packet moves (incl. ejection)
+    /**
+     * VC input-buffer occupancy histogram: occupancy[k] counts VC
+     * buffers observed holding exactly k packets, sampled every 256
+     * cycles over every input VC (k ranges over [0, buf_packets]).
+     */
+    std::vector<long long> occupancy;
+
+    double wall_seconds = 0.0;    //!< telemetry: run() wall clock
+    double cycles_per_sec = 0.0;  //!< telemetry: cycles / wall_seconds
+
+    /** Accumulate another counter set (deterministic fields only). */
+    void merge(const PerfCounters &o);
+};
+
+/** Aggregated measurement results. */
+struct SimResult
+{
+    double offered = 0.0;      //!< configured offered load
+    double accepted = 0.0;     //!< delivered phits/node/cycle in window
+    double avg_latency = 0.0;  //!< mean packet latency, cycles
+    double p50_latency = 0.0;  //!< median latency (log-bucket estimate)
+    double p99_latency = 0.0;  //!< 99th percentile latency (estimate)
+    double avg_hops = 0.0;     //!< mean switch-to-switch hops
+    long long delivered_packets = 0;
+    long long generated_packets = 0;
+    long long suppressed_packets = 0;  //!< source queue full
+    long long unroutable_packets = 0;  //!< no route (faults)
+
+    PerfCounters perf;         //!< engine counters for this run
+};
+
+} // namespace rfc
+
+#endif // RFC_SIM_CORE_CONFIG_HPP

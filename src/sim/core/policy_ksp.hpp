@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Routing policy of the direct-network simulator: a k-shortest path is
+ * drawn from the KspRoutes table at injection and followed hop by hop,
+ * with hop-escalating virtual channels (a packet that has crossed h
+ * links occupies VC min(h, vcs-1)) for deadlock freedom.  Plugged into
+ * VctEngine as its compile-time Policy.
+ */
+#ifndef RFC_SIM_CORE_POLICY_KSP_HPP
+#define RFC_SIM_CORE_POLICY_KSP_HPP
+
+#include <algorithm>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "routing/ksp_tables.hpp"
+#include "sim/core/config.hpp"
+#include "sim/core/layout.hpp"
+#include "util/rng.hpp"
+
+namespace rfc {
+
+/** Path selection discipline at injection. */
+enum class PathPolicy
+{
+    kShortestEcmp,  //!< uniform among minimal-length paths
+    kAllKsp,        //!< uniform among all k stored paths
+};
+
+class KspPolicy
+{
+  public:
+    struct Pkt
+    {
+        std::int32_t gen;
+        const Path *path;        //!< chosen at injection (null = local)
+        std::int32_t dest_sw;    //!< destination switch
+        std::int16_t dest_local; //!< terminal index at dest_sw
+        std::int16_t hop;        //!< links crossed so far
+        std::int16_t cur_out;    //!< resolved out port (-1 = not yet)
+    };
+
+    KspPolicy(const Graph &g, const KspRoutes &routes,
+              const FabricLayout &lay, const SimConfig &cfg,
+              int hosts_per_switch, PathPolicy path_policy)
+        : g_(&g), routes_(&routes), lay_(&lay), vcs_(cfg.vcs),
+          hosts_(hosts_per_switch), path_policy_(path_policy)
+    {}
+
+    bool
+    routable(long long term, long long dest) const
+    {
+        int src_sw = static_cast<int>(term / hosts_);
+        int dst_sw = static_cast<int>(dest / hosts_);
+        return src_sw == dst_sw || !routes_->paths(src_sw, dst_sw).empty();
+    }
+
+    int
+    injectVc(const std::int8_t *credits, long long term,
+             std::int32_t dest, Rng &rng)
+    {
+        (void)term;
+        (void)dest;
+        (void)rng;
+        // Injection always targets VC 0 (a packet with 0 hops crossed).
+        return credits[0] > 0 ? 0 : -1;
+    }
+
+    void
+    initPacket(Pkt &p, long long term, std::int32_t dest, Rng &rng)
+    {
+        int src_sw = static_cast<int>(term / hosts_);
+        int dst_sw = dest / hosts_;
+        p.dest_sw = dst_sw;
+        p.dest_local = static_cast<std::int16_t>(dest % hosts_);
+        p.hop = 0;
+        p.cur_out = -1;
+        p.path = src_sw == dst_sw
+                     ? nullptr
+                     : (path_policy_ == PathPolicy::kShortestEcmp
+                            ? routes_->pickShortest(src_sw, dst_sw, rng)
+                            : routes_->pickPath(src_sw, dst_sw, rng));
+    }
+
+    int
+    routeOut(int s, Pkt &p, Rng &rng, int &fixed_vc)
+    {
+        (void)rng;
+        fixed_vc = -1;
+        if (s == p.dest_sw)
+            return lay_->n_net[s] + p.dest_local;  // ejection
+        fixed_vc = std::min<int>(p.hop, vcs_ - 1);
+        // The path is fixed at injection, so the out port is resolved
+        // once per hop and cached - blocked packets re-arbitrate every
+        // cycle and must not rescan the adjacency list each time.
+        if (p.cur_out < 0) {
+            // Follow the precomputed path; hop h means path[h] == s.
+            int next_sw = (*p.path)[p.hop + 1];
+            const auto &adj = g_->neighbors(s);
+            auto it = std::find(adj.begin(), adj.end(), next_sw);
+            p.cur_out = static_cast<std::int16_t>(it - adj.begin());
+        }
+        return p.cur_out;
+    }
+
+    void
+    vcRange(const Pkt &p, int &lo, int &hi) const
+    {
+        // The legal channel is fully determined by the hop count.
+        lo = std::min<int>(p.hop, vcs_ - 1);
+        hi = lo + 1;
+    }
+
+    int
+    chooseOutVc(const std::int16_t *credits, const Pkt &p, Rng &rng)
+    {
+        (void)rng;
+        int out_vc = std::min<int>(p.hop, vcs_ - 1);
+        return credits[out_vc] > 0 ? out_vc : -1;
+    }
+
+    void
+    onForward(Pkt &p)
+    {
+        ++p.hop;
+        p.cur_out = -1;
+    }
+
+    double hopsOf(const Pkt &p) const { return p.hop; }
+
+  private:
+    const Graph *g_;
+    const KspRoutes *routes_;
+    const FabricLayout *lay_;
+    int vcs_;
+    int hosts_;
+    PathPolicy path_policy_;
+};
+
+} // namespace rfc
+
+#endif // RFC_SIM_CORE_POLICY_KSP_HPP

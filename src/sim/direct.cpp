@@ -1,601 +1,28 @@
 #include "sim/direct.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace rfc {
 
 DirectSimulator::DirectSimulator(const Graph &g, const KspRoutes &routes,
                                  int hosts_per_switch, Traffic &traffic,
                                  SimConfig cfg, PathPolicy policy)
-    : g_(g), routes_(routes), hosts_(hosts_per_switch),
-      traffic_(traffic), cfg_(cfg), policy_(policy), rng_(cfg.seed)
+    : layout_(FabricLayout::fromGraph(g, std::max(hosts_per_switch, 1)))
 {
-    if (cfg_.vcs < 1 || cfg_.buf_packets < 1 || cfg_.pkt_phits < 1 ||
-        cfg_.link_latency < 0 || cfg_.source_queue < 1 || hosts_ < 1)
-        throw std::invalid_argument("DirectSimulator: bad parameters");
-    if (cfg_.vcs < routes_.maxHops())
+    cfg.validate();
+    if (hosts_per_switch < 1)
+        throw std::invalid_argument(
+            "DirectSimulator: hosts_per_switch must be >= 1");
+    if (cfg.vcs < routes.maxHops())
         throw std::invalid_argument(
             "DirectSimulator: hop-escalating deadlock freedom needs "
             "vcs >= max path hops (" +
-            std::to_string(routes_.maxHops()) + ")");
-    buildStructures();
-}
-
-void
-DirectSimulator::buildStructures()
-{
-    num_switches_ = g_.numVertices();
-    num_terms_ = static_cast<long long>(num_switches_) * hosts_;
-    const int V = cfg_.vcs;
-
-    port_off_.resize(num_switches_);
-    n_net_.resize(num_switches_);
-    n_ports_.resize(num_switches_);
-    std::int64_t off = 0;
-    int max_local = 0;
-    for (int s = 0; s < num_switches_; ++s) {
-        n_net_[s] = g_.degree(s);
-        n_ports_[s] = n_net_[s] + hosts_;
-        port_off_[s] = static_cast<std::int32_t>(off);
-        off += n_ports_[s];
-        max_local = std::max(max_local, n_ports_[s]);
-    }
-    total_ports_ = off;
-
-    port_owner_.resize(total_ports_);
-    for (int s = 0; s < num_switches_; ++s)
-        for (int p = 0; p < n_ports_[s]; ++p)
-            port_owner_[port_off_[s] + p] = s;
-
-    out_peer_ivc_base_.assign(total_ports_, -1);
-    out_busy_.assign(total_ports_, 0);
-    out_credits_.assign(total_ports_ * V,
-                        static_cast<std::int16_t>(cfg_.buf_packets));
-    in_busy_.assign(total_ports_, 0);
-    feeder_out_.assign(total_ports_, -1);
-
-    for (int s = 0; s < num_switches_; ++s) {
-        const auto &adj = g_.neighbors(s);
-        for (std::size_t i = 0; i < adj.size(); ++i) {
-            int peer = adj[i];
-            const auto &back = g_.neighbors(peer);
-            auto it = std::find(back.begin(), back.end(), s);
-            auto j = static_cast<std::int32_t>(it - back.begin());
-            std::int64_t out_gid = port_off_[s] + static_cast<int>(i);
-            std::int64_t peer_iport = port_off_[peer] + j;
-            out_peer_ivc_base_[out_gid] = peer_iport * V;
-            feeder_out_[peer_iport] =
-                static_cast<std::int32_t>(out_gid);
-        }
-        for (int t = 0; t < hosts_; ++t) {
-            std::int64_t gid = port_off_[s] + n_net_[s] + t;
-            std::int64_t term =
-                static_cast<std::int64_t>(s) * hosts_ + t;
-            feeder_out_[gid] = static_cast<std::int32_t>(-(term + 1));
-        }
-    }
-
-    const std::int64_t ivcs = total_ports_ * V;
-    ring_pkt_.assign(ivcs * cfg_.buf_packets, -1);
-    ring_ready_.assign(ivcs * cfg_.buf_packets, 0);
-    q_head_.assign(ivcs, 0);
-    q_count_.assign(ivcs, 0);
-    nonempty_.resize(num_switches_);
-    nonempty_pos_.assign(ivcs, -1);
-
-    inj_busy_.assign(num_terms_, 0);
-    inj_credits_.assign(num_terms_ * V,
-                        static_cast<std::int8_t>(cfg_.buf_packets));
-    src_dest_.assign(num_terms_ * cfg_.source_queue, -1);
-    src_gen_.assign(num_terms_ * cfg_.source_queue, 0);
-    sq_head_.assign(num_terms_, 0);
-    sq_count_.assign(num_terms_, 0);
-    next_gen_.assign(num_terms_, 0);
-    inj_scheduled_.assign(num_terms_, 0);
-
-    wheel_size_ = cfg_.pkt_phits + cfg_.link_latency + 2;
-    release_wheel_.assign(wheel_size_, {});
-    gen_wheel_.assign(kGenWheel, {});
-    inj_wheel_.assign(kGenWheel, {});
-
-    sw_active_.assign(num_switches_, 0);
-    cand_ivc_.assign(max_local, -1);
-    cand_count_.assign(max_local, 0);
-    cand_stamp_.assign(max_local, -1);
-
-    if constexpr (kGuards)
-        slots_held_.assign(ivcs, 0);
-}
-
-void
-DirectSimulator::guardScan(long long now)
-{
-    if constexpr (kGuards) {
-        const int V = cfg_.vcs;
-        const int cap = cfg_.buf_packets;
-        for (std::int64_t gid = 0; gid < total_ports_; ++gid) {
-            std::int64_t peer = out_peer_ivc_base_[gid];
-            if (peer < 0)
-                continue;
-            for (int v = 0; v < V; ++v) {
-                int c = out_credits_[gid * V + v];
-                check_.countChecks();
-                if (c < 0)
-                    check_.report("credit-negative", now,
-                                  port_owner_[gid], v,
-                                  "out port " + std::to_string(gid));
-                else if (c > cap)
-                    check_.report("credit-overflow", now,
-                                  port_owner_[gid], v,
-                                  "out port " + std::to_string(gid) +
-                                      " credits " + std::to_string(c) +
-                                      " > cap " + std::to_string(cap));
-                if (c + slots_held_[peer + v] != cap)
-                    check_.report(
-                        "credit-conservation", now, port_owner_[gid], v,
-                        "out port " + std::to_string(gid) + ": credits " +
-                            std::to_string(c) + " + held " +
-                            std::to_string(slots_held_[peer + v]) +
-                            " != cap " + std::to_string(cap));
-            }
-        }
-        for (long long t = 0; t < num_terms_; ++t) {
-            int sw = static_cast<int>(t / hosts_);
-            std::int64_t iport =
-                port_off_[sw] + n_net_[sw] + (t % hosts_);
-            for (int v = 0; v < V; ++v) {
-                int c = inj_credits_[t * V + v];
-                check_.countChecks();
-                if (c < 0 || c > cap)
-                    check_.report("inj-credit-bounds", now, sw, v,
-                                  "terminal " + std::to_string(t));
-                if (c + slots_held_[iport * V + v] != cap)
-                    check_.report("inj-credit-conservation", now, sw, v,
-                                  "terminal " + std::to_string(t));
-            }
-        }
-        for (std::int64_t ivc = 0;
-             ivc < static_cast<std::int64_t>(q_count_.size()); ++ivc) {
-            check_.countChecks();
-            if (q_count_[ivc] > cap)
-                check_.report(
-                    "vc-occupancy", now,
-                    port_owner_[ivc / V], static_cast<int>(ivc % V),
-                    "queue depth " + std::to_string(q_count_[ivc]) +
-                        " > cap " + std::to_string(cap));
-        }
-    }
-}
-
-void
-DirectSimulator::guardCycle(long long now)
-{
-    if constexpr (kGuards) {
-        auto in_flight = static_cast<long long>(pool_.size()) -
-                         static_cast<long long>(free_pkts_.size());
-        check_.countChecks(2);
-        if (injected_pkts_ != in_flight + ejected_pkts_)
-            check_.report("packet-conservation", now, -1, -1,
-                          "injected " + std::to_string(injected_pkts_) +
-                              " != in-flight " + std::to_string(in_flight) +
-                              " + ejected " +
-                              std::to_string(ejected_pkts_));
-        if (generated_ !=
-            queued_pkts_ + injected_pkts_ + suppressed_ + unroutable_)
-            check_.report(
-                "generation-accounting", now, -1, -1,
-                "generated " + std::to_string(generated_) +
-                    " != queued " + std::to_string(queued_pkts_) +
-                    " + injected " + std::to_string(injected_pkts_) +
-                    " + suppressed " + std::to_string(suppressed_) +
-                    " + unroutable " + std::to_string(unroutable_));
-        long long watchdog = 256 + 64LL * cfg_.pkt_phits;
-        check_.countChecks();
-        if (in_flight > 0 && now - last_progress_ > watchdog)
-            check_.report("no-progress", now, -1, -1,
-                          std::to_string(in_flight) +
-                              " packets in flight, none moved since cycle " +
-                              std::to_string(last_progress_));
-        if ((now & 255) == 0)
-            guardScan(now);
-    }
-}
-
-std::int32_t
-DirectSimulator::allocPkt()
-{
-    if (!free_pkts_.empty()) {
-        std::int32_t id = free_pkts_.back();
-        free_pkts_.pop_back();
-        return id;
-    }
-    pool_.push_back({});
-    return static_cast<std::int32_t>(pool_.size() - 1);
-}
-
-void
-DirectSimulator::scheduleRelease(long long at, std::int32_t feeder,
-                                 int vc)
-{
-    release_wheel_[at % wheel_size_].push_back(
-        {feeder, static_cast<std::int8_t>(vc)});
-}
-
-void
-DirectSimulator::activateSwitch(int s)
-{
-    if (!sw_active_[s]) {
-        sw_active_[s] = 1;
-        active_list_.push_back(s);
-    }
-}
-
-void
-DirectSimulator::scheduleInjection(long long t, long long at)
-{
-    if (!inj_scheduled_[t]) {
-        inj_scheduled_[t] = 1;
-        inj_wheel_[at % kGenWheel].push_back(
-            static_cast<std::int32_t>(t));
-    }
-}
-
-void
-DirectSimulator::processReleases(long long now)
-{
-    auto &slot = release_wheel_[now % wheel_size_];
-    for (const Release &r : slot) {
-        if (r.feeder >= 0) {
-            std::int16_t c =
-                ++out_credits_[static_cast<std::int64_t>(r.feeder) *
-                                   cfg_.vcs +
-                               r.vc];
-            if constexpr (kGuards) {
-                check_.countChecks();
-                if (c > cfg_.buf_packets)
-                    check_.report("credit-overflow", now,
-                                  port_owner_[r.feeder], r.vc,
-                                  "release beyond buffer capacity");
-                --slots_held_[out_peer_ivc_base_[r.feeder] + r.vc];
-            }
-        } else {
-            std::int64_t term = -static_cast<std::int64_t>(r.feeder) - 1;
-            std::int8_t c = ++inj_credits_[term * cfg_.vcs + r.vc];
-            if constexpr (kGuards) {
-                check_.countChecks();
-                int sw = static_cast<int>(term / hosts_);
-                if (c > cfg_.buf_packets)
-                    check_.report("credit-overflow", now, sw, r.vc,
-                                  "terminal release beyond capacity");
-                std::int64_t iport =
-                    port_off_[sw] + n_net_[sw] + (term % hosts_);
-                --slots_held_[iport * cfg_.vcs + r.vc];
-            }
-        }
-    }
-    slot.clear();
-}
-
-void
-DirectSimulator::processGeneration(long long now)
-{
-    auto &slot = gen_wheel_[now % kGenWheel];
-    if (slot.empty())
-        return;
-    const double p = cfg_.load / cfg_.pkt_phits;
-    for (std::int32_t t : slot) {
-        if (next_gen_[t] > now) {
-            long long gap = next_gen_[t] - now;
-            gen_wheel_[(now + std::min<long long>(gap, kGenWheel - 1)) %
-                       kGenWheel]
-                .push_back(t);
-            continue;
-        }
-        ++generated_;
-        if (sq_count_[t] < cfg_.source_queue) {
-            long long dest = traffic_.dest(t, rng_);
-            int src_sw = static_cast<int>(t / hosts_);
-            int dst_sw = static_cast<int>(dest / hosts_);
-            if (src_sw != dst_sw &&
-                routes_.paths(src_sw, dst_sw).empty()) {
-                ++unroutable_;
-            } else {
-                int k = (sq_head_[t] + sq_count_[t]) % cfg_.source_queue;
-                std::int64_t base =
-                    static_cast<std::int64_t>(t) * cfg_.source_queue;
-                src_dest_[base + k] = static_cast<std::int32_t>(dest);
-                src_gen_[base + k] = static_cast<std::int32_t>(now);
-                ++sq_count_[t];
-                if constexpr (kGuards)
-                    ++queued_pkts_;
-                scheduleInjection(t, now);
-            }
-        } else {
-            ++suppressed_;
-        }
-        double u = rng_.uniformReal();
-        long long gap = 1 + static_cast<long long>(std::floor(
-            std::log(1.0 - u) / std::log(1.0 - p)));
-        if (gap < 1)
-            gap = 1;
-        next_gen_[t] = now + gap;
-        gen_wheel_[(now + std::min<long long>(gap, kGenWheel - 1)) %
-                   kGenWheel]
-            .push_back(t);
-    }
-    slot.clear();
-}
-
-void
-DirectSimulator::processInjection(long long now)
-{
-    auto &slot = inj_wheel_[now % kGenWheel];
-    if (slot.empty())
-        return;
-    const int V = cfg_.vcs;
-    for (std::int32_t t : slot) {
-        inj_scheduled_[t] = 0;
-        if (sq_count_[t] == 0)
-            continue;
-        if (inj_busy_[t] > now) {
-            scheduleInjection(t, inj_busy_[t]);
-            continue;
-        }
-        // Injection always targets VC 0 (a packet with 0 hops crossed).
-        if (inj_credits_[static_cast<std::int64_t>(t) * V] <= 0) {
-            scheduleInjection(t, now + 1);
-            continue;
-        }
-
-        std::int64_t base =
-            static_cast<std::int64_t>(t) * cfg_.source_queue;
-        int k = sq_head_[t];
-        std::int32_t dest = src_dest_[base + k];
-        std::int32_t gen = src_gen_[base + k];
-        sq_head_[t] =
-            static_cast<std::int16_t>((k + 1) % cfg_.source_queue);
-        --sq_count_[t];
-        if constexpr (kGuards) {
-            --queued_pkts_;
-            ++injected_pkts_;
-            last_progress_ = now;
-        }
-
-        int src_sw = t / hosts_;
-        int dst_sw = dest / hosts_;
-        std::int32_t pkt = allocPkt();
-        pool_[pkt].dest_term = dest;
-        pool_[pkt].hop = 0;
-        pool_[pkt].gen = gen;
-        pool_[pkt].path =
-            src_sw == dst_sw
-                ? nullptr
-                : (policy_ == PathPolicy::kShortestEcmp
-                       ? routes_.pickShortest(src_sw, dst_sw, rng_)
-                       : routes_.pickPath(src_sw, dst_sw, rng_));
-
-        std::int64_t iport = port_off_[src_sw] + n_net_[src_sw] +
-                             (t % hosts_);
-        std::int64_t gi = iport * V;  // VC 0
-        int pos = (q_head_[gi] + q_count_[gi]) % cfg_.buf_packets;
-        ring_pkt_[gi * cfg_.buf_packets + pos] = pkt;
-        ring_ready_[gi * cfg_.buf_packets + pos] =
-            static_cast<std::int32_t>(now + cfg_.link_latency);
-        if (q_count_[gi]++ == 0) {
-            nonempty_pos_[gi] = static_cast<std::int32_t>(
-                nonempty_[src_sw].size());
-            nonempty_[src_sw].push_back(static_cast<std::uint16_t>(
-                (iport - port_off_[src_sw]) * V));
-        }
-        if constexpr (kGuards) {
-            ++slots_held_[gi];
-            check_.countChecks();
-            if (q_count_[gi] > cfg_.buf_packets)
-                check_.report("vc-occupancy", now, src_sw, 0,
-                              "injection overfilled terminal buffer");
-        }
-        --inj_credits_[static_cast<std::int64_t>(t) * V];
-        inj_busy_[t] = now + cfg_.pkt_phits;
-        activateSwitch(src_sw);
-        if (sq_count_[t] > 0)
-            scheduleInjection(t, inj_busy_[t]);
-    }
-    slot.clear();
-}
-
-void
-DirectSimulator::arbitrateSwitch(int s, long long now)
-{
-    const int V = cfg_.vcs;
-    const int cap = cfg_.buf_packets;
-    const std::int64_t base_port = port_off_[s];
-    touched_outs_.clear();
-
-    // Scan phase.
-    for (std::uint16_t local : nonempty_[s]) {
-        std::int64_t iport = base_port + local / V;
-        std::int64_t gi = iport * V + (local % V);
-        int head = q_head_[gi];
-        std::int64_t rb = gi * cap + head;
-        if (ring_ready_[rb] > now)
-            continue;
-        if (in_busy_[iport] > now)
-            continue;
-        std::int32_t pkt = ring_pkt_[rb];
-        const PoolPkt &pp = pool_[pkt];
-
-        int o_local;
-        int next_vc = -1;
-        int dst_sw = pp.dest_term / hosts_;
-        if (s == dst_sw) {
-            o_local = n_net_[s] + pp.dest_term % hosts_;  // ejection
-        } else {
-            // Follow the precomputed path; hop h means path[h] == s.
-            int next_sw = (*pp.path)[pp.hop + 1];
-            const auto &adj = g_.neighbors(s);
-            auto it = std::find(adj.begin(), adj.end(), next_sw);
-            o_local = static_cast<int>(it - adj.begin());
-            next_vc = std::min<int>(pp.hop, V - 1);
-        }
-        std::int64_t o_gid = base_port + o_local;
-        if (out_busy_[o_gid] > now)
-            continue;
-        if (next_vc >= 0 && out_credits_[o_gid * V + next_vc] <= 0)
-            continue;
-
-        if (cand_stamp_[o_local] != now) {
-            cand_stamp_[o_local] = now;
-            cand_count_[o_local] = 1;
-            cand_ivc_[o_local] = static_cast<std::int32_t>(local);
-            touched_outs_.push_back(o_local);
-        } else {
-            ++cand_count_[o_local];
-            if (rng_.uniform(cand_count_[o_local]) == 0)
-                cand_ivc_[o_local] = static_cast<std::int32_t>(local);
-        }
-    }
-
-    // Commit phase.
-    for (std::int32_t o_local : touched_outs_) {
-        std::int32_t local = cand_ivc_[o_local];
-        std::int64_t iport = base_port + local / V;
-        if (in_busy_[iport] > now)
-            continue;
-        std::int64_t gi = iport * V + (local % V);
-        std::int64_t o_gid = base_port + o_local;
-        int head = q_head_[gi];
-        std::int64_t rb = gi * cap + head;
-        std::int32_t pkt = ring_pkt_[rb];
-        PoolPkt &pp = pool_[pkt];
-
-        std::int64_t peer = out_peer_ivc_base_[o_gid];
-        int out_vc = -1;
-        if (peer >= 0) {
-            out_vc = std::min<int>(pp.hop, V - 1);
-            if (out_credits_[o_gid * V + out_vc] <= 0)
-                continue;
-        }
-
-        q_head_[gi] = static_cast<std::uint8_t>((head + 1) % cap);
-        if (--q_count_[gi] == 0) {
-            auto pos = nonempty_pos_[gi];
-            auto &list = nonempty_[s];
-            nonempty_pos_[base_port * V +
-                          static_cast<std::int64_t>(list.back())] = pos;
-            list[pos] = list.back();
-            list.pop_back();
-            nonempty_pos_[gi] = -1;
-        }
-
-        in_busy_[iport] = now + cfg_.pkt_phits;
-        out_busy_[o_gid] = now + cfg_.pkt_phits;
-        scheduleRelease(now + cfg_.pkt_phits, feeder_out_[iport],
-                        static_cast<int>(local % V));
-
-        if (peer < 0) {
-            long long done = now + cfg_.link_latency + cfg_.pkt_phits;
-            if (now >= win_start_ && now < win_end_) {
-                ++delivered_;
-                delivered_phits_ += cfg_.pkt_phits;
-                lat_sum_ += static_cast<double>(done - pp.gen);
-                hop_sum_ += pp.hop;
-            }
-            free_pkts_.push_back(pkt);
-            if constexpr (kGuards) {
-                ++ejected_pkts_;
-                last_progress_ = now;
-            }
-        } else {
-            if constexpr (kGuards) {
-                check_.countChecks();
-                if (out_credits_[o_gid * V + out_vc] <= 0)
-                    check_.report("credit-negative", now, s, out_vc,
-                                  "forwarded without credit on out port " +
-                                      std::to_string(o_gid));
-            }
-            --out_credits_[o_gid * V + out_vc];
-            std::int64_t di = peer + out_vc;
-            int dpos = (q_head_[di] + q_count_[di]) % cap;
-            ring_pkt_[di * cap + dpos] = pkt;
-            ring_ready_[di * cap + dpos] =
-                static_cast<std::int32_t>(now + cfg_.link_latency);
-            std::int64_t peer_iport = peer / V;
-            int dest_sw = port_owner_[peer_iport];
-            if (q_count_[di]++ == 0) {
-                nonempty_pos_[di] = static_cast<std::int32_t>(
-                    nonempty_[dest_sw].size());
-                nonempty_[dest_sw].push_back(static_cast<std::uint16_t>(
-                    (peer_iport - port_off_[dest_sw]) * V + out_vc));
-            }
-            ++pp.hop;
-            activateSwitch(dest_sw);
-            if constexpr (kGuards) {
-                ++slots_held_[di];
-                check_.countChecks();
-                if (q_count_[di] > cap)
-                    check_.report("vc-occupancy", now, dest_sw, out_vc,
-                                  "forward overfilled input buffer");
-                last_progress_ = now;
-            }
-        }
-    }
-
-    for (std::int32_t o_local : touched_outs_)
-        cand_stamp_[o_local] = -1;
-}
-
-SimResult
-DirectSimulator::run()
-{
-    const long long total = cfg_.warmup + cfg_.measure;
-    win_start_ = cfg_.warmup;
-    win_end_ = total;
-
-    traffic_.init(num_terms_, rng_);
-    for (long long t = 0; cfg_.load > 0.0 && t < num_terms_; ++t) {
-        long long start = static_cast<long long>(
-            rng_.uniform(static_cast<std::uint64_t>(cfg_.pkt_phits)));
-        next_gen_[t] = start;
-        gen_wheel_[start % kGenWheel].push_back(
-            static_cast<std::int32_t>(t));
-    }
-
-    for (long long now = 0; now < total; ++now) {
-        processReleases(now);
-        processGeneration(now);
-        processInjection(now);
-
-        std::swap(active_list_, active_scratch_);
-        active_list_.clear();
-        for (int s : active_scratch_)
-            sw_active_[s] = 0;
-        for (int s : active_scratch_) {
-            arbitrateSwitch(s, now);
-            if (!nonempty_[s].empty())
-                activateSwitch(s);
-        }
-        active_scratch_.clear();
-
-        if constexpr (kGuards)
-            guardCycle(now);
-    }
-
-    SimResult r;
-    r.offered = cfg_.load;
-    r.generated_packets = generated_;
-    r.delivered_packets = delivered_;
-    r.suppressed_packets = suppressed_;
-    r.unroutable_packets = unroutable_;
-    r.accepted = static_cast<double>(delivered_phits_) /
-                 (static_cast<double>(cfg_.measure) *
-                  static_cast<double>(num_terms_));
-    if (delivered_ > 0) {
-        r.avg_latency = lat_sum_ / static_cast<double>(delivered_);
-        r.avg_hops = hop_sum_ / static_cast<double>(delivered_);
-    }
-    return r;
+            std::to_string(routes.maxHops()) + ")");
+    engine_ = std::make_unique<VctEngine<KspPolicy>>(
+        layout_, traffic, cfg,
+        KspPolicy(g, routes, layout_, cfg, hosts_per_switch, policy));
 }
 
 } // namespace rfc

@@ -16,27 +16,26 @@
  *  - flow control: identical to the folded Clos simulator (whole-packet
  *    virtual cut-through, credits, random arbitration, Table 2
  *    parameters), so CFT/RFC/RRN results are directly comparable.
+ *
+ * Flow control is literally shared: both simulators instantiate the
+ * same core engine (sim/core/engine.hpp), this one with the KSP
+ * routing policy (sim/core/policy_ksp.hpp).
  */
 #ifndef RFC_SIM_DIRECT_HPP
 #define RFC_SIM_DIRECT_HPP
 
-#include <cstdint>
-#include <vector>
+#include <memory>
 
+#include "check/guard.hpp"
 #include "graph/graph.hpp"
 #include "routing/ksp_tables.hpp"
-#include "sim/simulator.hpp"
+#include "sim/core/config.hpp"
+#include "sim/core/engine.hpp"
+#include "sim/core/layout.hpp"
+#include "sim/core/policy_ksp.hpp"
 #include "sim/traffic.hpp"
-#include "util/rng.hpp"
 
 namespace rfc {
-
-/** Path selection discipline at injection. */
-enum class PathPolicy
-{
-    kShortestEcmp,  //!< uniform among minimal-length paths
-    kAllKsp,        //!< uniform among all k stored paths
-};
 
 /** One direct-network simulation instance. */
 class DirectSimulator
@@ -57,106 +56,21 @@ class DirectSimulator
                     PathPolicy policy = PathPolicy::kShortestEcmp);
 
     /** Run warm-up plus measurement and return the metrics. */
-    SimResult run();
+    SimResult run() { return engine_->run(); }
 
     /**
      * Runtime invariant guard results (populated only when built with
      * -DRFC_CHECK_INVARIANTS=ON; the guards compile out otherwise).
      */
-    const CheckContext &checkContext() const { return check_; }
+    const CheckContext &
+    checkContext() const
+    {
+        return engine_->checkContext();
+    }
 
   private:
-    void buildStructures();
-    void processReleases(long long now);
-    void processGeneration(long long now);
-    void processInjection(long long now);
-    void arbitrateSwitch(int s, long long now);
-    void scheduleRelease(long long at, std::int32_t feeder, int vc);
-    void activateSwitch(int s);
-    void scheduleInjection(long long t, long long at);
-
-    const Graph &g_;
-    const KspRoutes &routes_;
-    const int hosts_;
-    Traffic &traffic_;
-    SimConfig cfg_;
-    PathPolicy policy_;
-    Rng rng_;
-
-    int num_switches_ = 0;
-    long long num_terms_ = 0;
-
-    // Port layout per switch: [0, deg) network ports in adjacency
-    // order, [deg, deg+hosts) terminal ports.
-    std::vector<std::int32_t> port_off_, n_net_, n_ports_;
-    std::vector<std::int32_t> port_owner_;
-    std::int64_t total_ports_ = 0;
-
-    std::vector<std::int64_t> out_peer_ivc_base_;  //!< -1 = ejection
-    std::vector<std::int64_t> out_busy_;
-    std::vector<std::int16_t> out_credits_;
-    std::vector<std::int64_t> in_busy_;
-    std::vector<std::int32_t> feeder_out_;  //!< out gid or -(term+1)
-
-    std::vector<std::int32_t> ring_pkt_;
-    std::vector<std::int32_t> ring_ready_;
-    std::vector<std::uint8_t> q_head_, q_count_;
-    std::vector<std::vector<std::uint16_t>> nonempty_;
-    std::vector<std::int32_t> nonempty_pos_;
-
-    std::vector<std::int64_t> inj_busy_;
-    std::vector<std::int8_t> inj_credits_;
-    std::vector<std::int32_t> src_dest_;
-    std::vector<std::int32_t> src_gen_;
-    std::vector<std::int16_t> sq_head_, sq_count_;
-    std::vector<std::int64_t> next_gen_;
-    std::vector<std::uint8_t> inj_scheduled_;
-
-    struct PoolPkt
-    {
-        const Path *path;       //!< chosen at injection
-        std::int32_t dest_term;
-        std::int16_t hop;       //!< links crossed so far
-        std::int32_t gen;
-    };
-    std::vector<PoolPkt> pool_;
-    std::vector<std::int32_t> free_pkts_;
-    std::int32_t allocPkt();
-
-    struct Release
-    {
-        std::int32_t feeder;
-        std::int8_t vc;
-    };
-    int wheel_size_ = 0;
-    std::vector<std::vector<Release>> release_wheel_;
-    static constexpr int kGenWheel = 1024;
-    std::vector<std::vector<std::int32_t>> gen_wheel_;
-    std::vector<std::vector<std::int32_t>> inj_wheel_;
-
-    std::vector<std::uint8_t> sw_active_;
-    std::vector<std::int32_t> active_list_, active_scratch_;
-
-    std::vector<std::int32_t> cand_ivc_, cand_count_;
-    std::vector<std::int64_t> cand_stamp_;
-    std::vector<std::int32_t> touched_outs_;
-
-    long long win_start_ = 0, win_end_ = 0;
-    long long delivered_ = 0, generated_ = 0, suppressed_ = 0;
-    long long unroutable_ = 0;
-    double lat_sum_ = 0.0, hop_sum_ = 0.0;
-    long long delivered_phits_ = 0;
-
-    // --- runtime invariant guards (see sim/simulator.hpp) ------------
-    static constexpr bool kGuards = invariantChecksEnabled();
-    CheckContext check_;
-    long long injected_pkts_ = 0;
-    long long ejected_pkts_ = 0;
-    long long queued_pkts_ = 0;
-    long long last_progress_ = 0;
-    std::vector<std::int32_t> slots_held_;  //!< per ivc, occupied slots
-    void guardCycle(long long now);
-    void guardScan(long long now);
+    FabricLayout layout_;  //!< must outlive engine_
+    std::unique_ptr<VctEngine<KspPolicy>> engine_;
 };
 
 } // namespace rfc

@@ -1,792 +1,15 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
 namespace rfc {
-
-void
-LatencyHistogram::add(long long cycles)
-{
-    int b = cycles <= 0
-                ? 0
-                : std::min(kBuckets - 1,
-                           64 - __builtin_clzll(
-                                    static_cast<unsigned long long>(
-                                        cycles)));
-    ++bucket_[b];
-    ++total_;
-}
-
-double
-LatencyHistogram::quantile(double q) const
-{
-    if (total_ == 0)
-        return 0.0;
-    auto target = static_cast<long long>(
-        q * static_cast<double>(total_ - 1));
-    long long seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-        if (seen + bucket_[b] > target) {
-            // Interpolate inside [2^(b-1), 2^b).
-            double lo = b == 0 ? 0.0 : std::pow(2.0, b - 1);
-            double hi = std::pow(2.0, b);
-            double frac =
-                bucket_[b] == 0
-                    ? 0.0
-                    : static_cast<double>(target - seen) /
-                          static_cast<double>(bucket_[b]);
-            return lo + frac * (hi - lo);
-        }
-        seen += bucket_[b];
-    }
-    return std::pow(2.0, kBuckets - 1);
-}
 
 Simulator::Simulator(const FoldedClos &fc, const UpDownOracle &oracle,
                      Traffic &traffic, SimConfig config)
-    : fc_(fc), oracle_(oracle), traffic_(traffic), cfg_(config),
-      rng_(config.seed)
+    : layout_(FabricLayout::fromFoldedClos(fc))
 {
-    if (cfg_.vcs < 1 || cfg_.buf_packets < 1 || cfg_.pkt_phits < 1 ||
-        cfg_.link_latency < 0 || cfg_.source_queue < 1)
-        throw std::invalid_argument("SimConfig: bad parameters");
-    if (cfg_.route_mode == RouteMode::kValiant && cfg_.vcs < 2)
-        throw std::invalid_argument("Valiant routing needs vcs >= 2 "
-                                    "(phase-partitioned channels)");
-    buildStructures();
-}
-
-void
-Simulator::buildStructures()
-{
-    num_switches_ = fc_.numSwitches();
-    num_terms_ = fc_.numTerminals();
-    tpl_ = fc_.terminalsPerLeaf();
-    const int V = cfg_.vcs;
-
-    iport_off_.resize(num_switches_);
-    n_up_.resize(num_switches_);
-    n_down_.resize(num_switches_);
-    n_ports_.resize(num_switches_);
-    std::int64_t off = 0;
-    int max_local_ports = 0;
-    for (int s = 0; s < num_switches_; ++s) {
-        n_up_[s] = static_cast<std::int32_t>(fc_.up(s).size());
-        n_down_[s] = static_cast<std::int32_t>(fc_.down(s).size());
-        int term_ports = fc_.levelOf(s) == 1 ? tpl_ : 0;
-        n_ports_[s] = n_up_[s] + n_down_[s] + term_ports;
-        iport_off_[s] = static_cast<std::int32_t>(off);
-        off += n_ports_[s];
-        max_local_ports = std::max(max_local_ports, n_ports_[s]);
-    }
-    total_ports_ = off;
-
-    out_peer_ivc_base_.assign(total_ports_, -1);
-    out_busy_.assign(total_ports_, 0);
-    out_credits_.assign(total_ports_ * V,
-                        static_cast<std::int16_t>(cfg_.buf_packets));
-    in_busy_.assign(total_ports_, 0);
-    feeder_out_.assign(total_ports_, -1);
-    port_owner_.resize(total_ports_);
-    for (int s = 0; s < num_switches_; ++s)
-        for (int p = 0; p < n_ports_[s]; ++p)
-            port_owner_[iport_off_[s] + p] = s;
-
-    // Wire out-ports to peer in-ports and record feeders.
-    for (int s = 0; s < num_switches_; ++s) {
-        const auto &up = fc_.up(s);
-        for (std::size_t i = 0; i < up.size(); ++i) {
-            int p = up[i];
-            const auto &pd = fc_.down(p);
-            auto it = std::find(pd.begin(), pd.end(), s);
-            auto j = static_cast<std::int32_t>(it - pd.begin());
-            std::int64_t out_gid = iport_off_[s] + static_cast<int>(i);
-            std::int64_t peer_iport = iport_off_[p] + n_up_[p] + j;
-            out_peer_ivc_base_[out_gid] = peer_iport * V;
-            feeder_out_[peer_iport] = static_cast<std::int32_t>(out_gid);
-        }
-        const auto &down = fc_.down(s);
-        for (std::size_t j = 0; j < down.size(); ++j) {
-            int c = down[j];
-            const auto &cu = fc_.up(c);
-            auto it = std::find(cu.begin(), cu.end(), s);
-            auto i = static_cast<std::int32_t>(it - cu.begin());
-            std::int64_t out_gid = iport_off_[s] + n_up_[s] +
-                                   static_cast<int>(j);
-            std::int64_t peer_iport = iport_off_[c] + i;
-            out_peer_ivc_base_[out_gid] = peer_iport * V;
-            feeder_out_[peer_iport] = static_cast<std::int32_t>(out_gid);
-        }
-        if (fc_.levelOf(s) == 1) {
-            for (int t = 0; t < tpl_; ++t) {
-                std::int64_t gid = iport_off_[s] + n_up_[s] + t;
-                // Ejection out-port: no peer; injection in-port: the
-                // terminal is the feeder.
-                std::int64_t term = static_cast<std::int64_t>(s) * tpl_ + t;
-                feeder_out_[gid] =
-                    static_cast<std::int32_t>(-(term + 1));
-            }
-        }
-    }
-
-    const std::int64_t ivcs = total_ports_ * V;
-    ring_pkt_.assign(ivcs * cfg_.buf_packets, -1);
-    ring_ready_.assign(ivcs * cfg_.buf_packets, 0);
-    q_head_.assign(ivcs, 0);
-    q_count_.assign(ivcs, 0);
-    nonempty_.resize(num_switches_);
-    nonempty_pos_.assign(ivcs, -1);
-
-    inj_busy_.assign(num_terms_, 0);
-    inj_credits_.assign(num_terms_ * V,
-                        static_cast<std::int8_t>(cfg_.buf_packets));
-    src_dest_.assign(num_terms_ * cfg_.source_queue, -1);
-    src_gen_.assign(num_terms_ * cfg_.source_queue, 0);
-    sq_head_.assign(num_terms_, 0);
-    sq_count_.assign(num_terms_, 0);
-    next_gen_.assign(num_terms_, 0);
-    inj_scheduled_.assign(num_terms_, 0);
-
-    wheel_size_ = cfg_.pkt_phits + cfg_.link_latency + 2;
-    release_wheel_.assign(wheel_size_, {});
-    gen_wheel_.assign(kGenWheel, {});
-    inj_wheel_.assign(kGenWheel, {});
-
-    sw_active_.assign(num_switches_, 0);
-
-    cand_ivc_.assign(max_local_ports, -1);
-    cand_count_.assign(max_local_ports, 0);
-    cand_stamp_.assign(max_local_ports, -1);
-
-    if constexpr (kGuards)
-        slots_held_.assign(ivcs, 0);
-}
-
-void
-Simulator::guardScan(long long now)
-{
-    if constexpr (kGuards) {
-        const int V = cfg_.vcs;
-        const int cap = cfg_.buf_packets;
-        // Inter-switch credits: each out VC's credits plus the slots
-        // currently held at its peer input VC must equal the buffer
-        // capacity, and both must stay within bounds.
-        for (std::int64_t gid = 0; gid < total_ports_; ++gid) {
-            std::int64_t peer = out_peer_ivc_base_[gid];
-            if (peer < 0)
-                continue;
-            for (int v = 0; v < V; ++v) {
-                int c = out_credits_[gid * V + v];
-                check_.countChecks();
-                if (c < 0)
-                    check_.report("credit-negative", now,
-                                  port_owner_[gid], v,
-                                  "out port " + std::to_string(gid));
-                else if (c > cap)
-                    check_.report("credit-overflow", now,
-                                  port_owner_[gid], v,
-                                  "out port " + std::to_string(gid) +
-                                      " credits " + std::to_string(c) +
-                                      " > cap " + std::to_string(cap));
-                if (c + slots_held_[peer + v] != cap)
-                    check_.report(
-                        "credit-conservation", now, port_owner_[gid], v,
-                        "out port " + std::to_string(gid) + ": credits " +
-                            std::to_string(c) + " + held " +
-                            std::to_string(slots_held_[peer + v]) +
-                            " != cap " + std::to_string(cap));
-            }
-        }
-        // Injection credits against the terminal in-port VCs.
-        for (long long t = 0; t < num_terms_; ++t) {
-            int leaf = static_cast<int>(t / tpl_);
-            std::int64_t iport =
-                iport_off_[leaf] + n_up_[leaf] + (t % tpl_);
-            for (int v = 0; v < V; ++v) {
-                int c = inj_credits_[t * V + v];
-                check_.countChecks();
-                if (c < 0 || c > cap)
-                    check_.report("inj-credit-bounds", now, leaf, v,
-                                  "terminal " + std::to_string(t));
-                if (c + slots_held_[iport * V + v] != cap)
-                    check_.report("inj-credit-conservation", now, leaf, v,
-                                  "terminal " + std::to_string(t));
-            }
-        }
-        // VC occupancy bounds.
-        for (std::int64_t ivc = 0;
-             ivc < static_cast<std::int64_t>(q_count_.size()); ++ivc) {
-            check_.countChecks();
-            if (q_count_[ivc] > cap)
-                check_.report(
-                    "vc-occupancy", now,
-                    port_owner_[ivc / V], static_cast<int>(ivc % V),
-                    "queue depth " + std::to_string(q_count_[ivc]) +
-                        " > cap " + std::to_string(cap));
-        }
-    }
-}
-
-void
-Simulator::guardCycle(long long now)
-{
-    if constexpr (kGuards) {
-        // Packet conservation: every packet entered into the network is
-        // either still in flight (pool slot in use) or was ejected.
-        auto in_flight = static_cast<long long>(pool_.size()) -
-                         static_cast<long long>(free_pkts_.size());
-        check_.countChecks(2);
-        if (injected_pkts_ != in_flight + ejected_pkts_)
-            check_.report("packet-conservation", now, -1, -1,
-                          "injected " + std::to_string(injected_pkts_) +
-                              " != in-flight " + std::to_string(in_flight) +
-                              " + ejected " +
-                              std::to_string(ejected_pkts_));
-        // Source-queue accounting: generated packets are queued,
-        // injected, suppressed or unroutable - nothing vanishes.
-        if (generated_ !=
-            queued_pkts_ + injected_pkts_ + suppressed_ + unroutable_)
-            check_.report(
-                "generation-accounting", now, -1, -1,
-                "generated " + std::to_string(generated_) +
-                    " != queued " + std::to_string(queued_pkts_) +
-                    " + injected " + std::to_string(injected_pkts_) +
-                    " + suppressed " + std::to_string(suppressed_) +
-                    " + unroutable " + std::to_string(unroutable_));
-        // No-progress watchdog: packets in flight but nothing moved for
-        // far longer than any legal busy/credit stall can last.
-        long long watchdog = 256 + 64LL * cfg_.pkt_phits;
-        check_.countChecks();
-        if (in_flight > 0 && now - last_progress_ > watchdog)
-            check_.report("no-progress", now, -1, -1,
-                          std::to_string(in_flight) +
-                              " packets in flight, none moved since cycle " +
-                              std::to_string(last_progress_));
-        if ((now & 255) == 0)
-            guardScan(now);
-    }
-}
-
-std::int32_t
-Simulator::allocPkt()
-{
-    if (!free_pkts_.empty()) {
-        std::int32_t id = free_pkts_.back();
-        free_pkts_.pop_back();
-        return id;
-    }
-    pool_.push_back({});
-    return static_cast<std::int32_t>(pool_.size() - 1);
-}
-
-void
-Simulator::freePkt(std::int32_t id)
-{
-    free_pkts_.push_back(id);
-}
-
-void
-Simulator::scheduleRelease(long long at, std::int32_t feeder, int vc)
-{
-    release_wheel_[at % wheel_size_].push_back(
-        {feeder, static_cast<std::int8_t>(vc)});
-}
-
-void
-Simulator::activateSwitch(int s)
-{
-    if (!sw_active_[s]) {
-        sw_active_[s] = 1;
-        active_list_.push_back(s);
-    }
-}
-
-void
-Simulator::scheduleInjection(int t, long long at)
-{
-    if (!inj_scheduled_[t]) {
-        inj_scheduled_[t] = 1;
-        inj_wheel_[at % kGenWheel].push_back(t);
-    }
-}
-
-void
-Simulator::processReleases(long long now)
-{
-    auto &slot = release_wheel_[now % wheel_size_];
-    for (const Release &r : slot) {
-        if (r.feeder >= 0) {
-            std::int16_t c =
-                ++out_credits_[static_cast<std::int64_t>(r.feeder) *
-                                   cfg_.vcs +
-                               r.vc];
-            if constexpr (kGuards) {
-                check_.countChecks();
-                if (c > cfg_.buf_packets)
-                    check_.report("credit-overflow", now,
-                                  port_owner_[r.feeder], r.vc,
-                                  "release beyond buffer capacity");
-                --slots_held_[out_peer_ivc_base_[r.feeder] + r.vc];
-            }
-        } else {
-            std::int64_t term = -static_cast<std::int64_t>(r.feeder) - 1;
-            std::int8_t c = ++inj_credits_[term * cfg_.vcs + r.vc];
-            if constexpr (kGuards) {
-                check_.countChecks();
-                int leaf = static_cast<int>(term / tpl_);
-                if (c > cfg_.buf_packets)
-                    check_.report("credit-overflow", now, leaf, r.vc,
-                                  "terminal release beyond capacity");
-                std::int64_t iport =
-                    iport_off_[leaf] + n_up_[leaf] + (term % tpl_);
-                --slots_held_[iport * cfg_.vcs + r.vc];
-            }
-        }
-    }
-    slot.clear();
-}
-
-void
-Simulator::processGeneration(long long now)
-{
-    auto &slot = gen_wheel_[now % kGenWheel];
-    if (slot.empty())
-        return;
-    const double p = cfg_.load / cfg_.pkt_phits;
-    for (std::int32_t t : slot) {
-        if (next_gen_[t] > now) {
-            long long gap = next_gen_[t] - now;
-            gen_wheel_[(now + std::min<long long>(gap, kGenWheel - 1)) %
-                       kGenWheel]
-                .push_back(t);
-            continue;
-        }
-        // Generate one packet.
-        ++generated_;
-        if (sq_count_[t] < cfg_.source_queue) {
-            long long dest = traffic_.dest(t, rng_);
-            auto dest_leaf = static_cast<std::int32_t>(dest / tpl_);
-            auto src_leaf = static_cast<std::int32_t>(t / tpl_);
-            if (oracle_.minUps(src_leaf, dest_leaf) < 0) {
-                ++unroutable_;
-            } else {
-                int k = (sq_head_[t] + sq_count_[t]) % cfg_.source_queue;
-                std::int64_t base =
-                    static_cast<std::int64_t>(t) * cfg_.source_queue;
-                src_dest_[base + k] = static_cast<std::int32_t>(dest);
-                src_gen_[base + k] = static_cast<std::int32_t>(now);
-                ++sq_count_[t];
-                if constexpr (kGuards)
-                    ++queued_pkts_;
-                scheduleInjection(t, now);
-            }
-        } else {
-            ++suppressed_;
-        }
-        // Sample the next generation time (geometric inter-arrival).
-        double u = rng_.uniformReal();
-        long long gap = 1 + static_cast<long long>(
-            std::floor(std::log(1.0 - u) / std::log(1.0 - p)));
-        if (gap < 1)
-            gap = 1;
-        next_gen_[t] = now + gap;
-        gen_wheel_[(now + std::min<long long>(gap, kGenWheel - 1)) %
-                   kGenWheel]
-            .push_back(t);
-    }
-    slot.clear();
-}
-
-void
-Simulator::processInjection(long long now)
-{
-    auto &slot = inj_wheel_[now % kGenWheel];
-    if (slot.empty())
-        return;
-    const int V = cfg_.vcs;
-    for (std::int32_t t : slot) {
-        inj_scheduled_[t] = 0;
-        if (sq_count_[t] == 0)
-            continue;
-        if (inj_busy_[t] > now) {
-            scheduleInjection(t, inj_busy_[t]);
-            continue;
-        }
-        // Valiant set-up: pick a random routable intermediate leaf
-        // before choosing the injection VC (the VC range depends on
-        // the packet's phase).
-        std::int32_t peeked_dest =
-            src_dest_[static_cast<std::int64_t>(t) * cfg_.source_queue +
-                      sq_head_[t]];
-        std::int32_t inter = -1;
-        std::int8_t phase = 1;
-        if (cfg_.route_mode == RouteMode::kValiant) {
-            int src_leaf = t / tpl_;
-            int dst_leaf = peeked_dest / tpl_;
-            if (src_leaf != dst_leaf && fc_.numLeaves() > 2) {
-                for (int tries = 0; tries < 16; ++tries) {
-                    auto cand = static_cast<std::int32_t>(
-                        rng_.uniform(static_cast<std::uint64_t>(
-                            fc_.numLeaves())));
-                    if (cand == src_leaf || cand == dst_leaf)
-                        continue;
-                    if (oracle_.minUps(src_leaf, cand) >= 0 &&
-                        oracle_.minUps(cand, dst_leaf) >= 0) {
-                        inter = cand;
-                        phase = 0;
-                        break;
-                    }
-                }
-            }
-        }
-        int vc_lo = 0, vc_hi = V;
-        if (cfg_.route_mode == RouteMode::kValiant && phase == 0)
-            vc_hi = V / 2;
-        else if (cfg_.route_mode == RouteMode::kValiant)
-            vc_lo = V / 2;
-
-        // "shortest" injection: the VC with most credits; random among
-        // ties; skip if all are full.
-        int best_vc = -1, best_credit = 0, ties = 0;
-        for (int v = vc_lo; v < vc_hi; ++v) {
-            int c = inj_credits_[static_cast<std::int64_t>(t) * V + v];
-            if (c > best_credit) {
-                best_credit = c;
-                best_vc = v;
-                ties = 1;
-            } else if (c == best_credit && c > 0) {
-                ++ties;
-                if (rng_.uniform(ties) == 0)
-                    best_vc = v;
-            }
-        }
-        if (best_vc < 0) {
-            scheduleInjection(t, now + 1);
-            continue;
-        }
-
-        std::int64_t base = static_cast<std::int64_t>(t) * cfg_.source_queue;
-        int k = sq_head_[t];
-        std::int32_t dest = src_dest_[base + k];
-        std::int32_t gen = src_gen_[base + k];
-        sq_head_[t] = static_cast<std::int16_t>((k + 1) % cfg_.source_queue);
-        --sq_count_[t];
-        if constexpr (kGuards) {
-            --queued_pkts_;
-            ++injected_pkts_;
-            last_progress_ = now;
-        }
-
-        std::int32_t pkt = allocPkt();
-        pool_[pkt].dest_leaf = dest / tpl_;
-        pool_[pkt].dest_local = static_cast<std::int16_t>(dest % tpl_);
-        pool_[pkt].hops = 0;
-        pool_[pkt].gen = gen;
-        pool_[pkt].inter_leaf = inter;
-        pool_[pkt].phase = phase;
-
-        int leaf = t / tpl_;
-        std::int64_t iport = iport_off_[leaf] + n_up_[leaf] + (t % tpl_);
-        std::int64_t gi = iport * V + best_vc;
-        int pos = (q_head_[gi] + q_count_[gi]) % cfg_.buf_packets;
-        ring_pkt_[gi * cfg_.buf_packets + pos] = pkt;
-        ring_ready_[gi * cfg_.buf_packets + pos] =
-            static_cast<std::int32_t>(now + cfg_.link_latency);
-        if (q_count_[gi]++ == 0) {
-            nonempty_pos_[gi] =
-                static_cast<std::int32_t>(nonempty_[leaf].size());
-            nonempty_[leaf].push_back(static_cast<std::uint16_t>(
-                (iport - iport_off_[leaf]) * V + best_vc));
-        }
-        if constexpr (kGuards) {
-            ++slots_held_[gi];
-            check_.countChecks();
-            if (q_count_[gi] > cfg_.buf_packets)
-                check_.report("vc-occupancy", now, leaf, best_vc,
-                              "injection overfilled terminal buffer");
-        }
-        --inj_credits_[static_cast<std::int64_t>(t) * V + best_vc];
-        inj_busy_[t] = now + cfg_.pkt_phits;
-        activateSwitch(leaf);
-        if (sq_count_[t] > 0)
-            scheduleInjection(t, inj_busy_[t]);
-    }
-    slot.clear();
-}
-
-std::int32_t
-Simulator::targetLeaf(std::int32_t pkt, int s)
-{
-    PoolPkt &p = pool_[pkt];
-    if (p.phase == 0 && s == p.inter_leaf)
-        p.phase = 1;  // Valiant intermediate reached: head for dest
-    return p.phase == 0 ? p.inter_leaf : p.dest_leaf;
-}
-
-void
-Simulator::vcRange(std::int32_t pkt, int &lo, int &hi) const
-{
-    if (cfg_.route_mode != RouteMode::kValiant) {
-        lo = 0;
-        hi = cfg_.vcs;
-        return;
-    }
-    // Phase-partitioned channels keep the two up/down phases' channel
-    // dependencies acyclic.
-    int half = cfg_.vcs / 2;
-    if (pool_[pkt].phase == 0) {
-        lo = 0;
-        hi = half;
-    } else {
-        lo = half;
-        hi = cfg_.vcs;
-    }
-}
-
-int
-Simulator::routeOutput(int s, std::int32_t pkt, long long now)
-{
-    (void)now;
-    const std::int32_t target = targetLeaf(pkt, s);
-    const PoolPkt &p = pool_[pkt];
-    if (s == target)
-        return n_up_[s] + p.dest_local;  // ejection port (phase == 1)
-
-    int need = oracle_.minUps(s, target);
-    if (need < 0)
-        return -1;
-    if (need == 0) {
-        oracle_.downChoices(fc_, s, target, choice_scratch_);
-        if (choice_scratch_.empty())
-            return -1;
-        int pick = choice_scratch_[rng_.uniform(choice_scratch_.size())];
-        return n_up_[s] + pick;
-    }
-    if (cfg_.route_mode == RouteMode::kUpDownRandom)
-        oracle_.feasibleUpChoices(fc_, s, target, choice_scratch_);
-    else
-        oracle_.upChoices(fc_, s, target, choice_scratch_);
-    if (choice_scratch_.empty())
-        return -1;
-    return choice_scratch_[rng_.uniform(choice_scratch_.size())];
-}
-
-void
-Simulator::arbitrateSwitch(int s, long long now)
-{
-    const int V = cfg_.vcs;
-    const int cap = cfg_.buf_packets;
-    const std::int64_t base_port = iport_off_[s];
-    touched_outs_.clear();
-
-    // Scan phase: pick one random candidate per free output.
-    for (std::uint16_t local : nonempty_[s]) {
-        std::int64_t iport = base_port + local / V;
-        std::int64_t gi = iport * V + (local % V);
-        int head = q_head_[gi];
-        std::int64_t rb = gi * cap + head;
-        if (ring_ready_[rb] > now)
-            continue;
-        if (in_busy_[iport] > now)
-            continue;
-        std::int32_t pkt = ring_pkt_[rb];
-        int o_local = routeOutput(s, pkt, now);
-        if (o_local < 0)
-            continue;
-        std::int64_t o_gid = base_port + o_local;
-        if (out_busy_[o_gid] > now)
-            continue;
-        std::int64_t peer = out_peer_ivc_base_[o_gid];
-        if (peer >= 0) {
-            int vc_lo, vc_hi;
-            vcRange(pkt, vc_lo, vc_hi);
-            bool has_credit = false;
-            for (int v = vc_lo; v < vc_hi; ++v) {
-                if (out_credits_[o_gid * V + v] > 0) {
-                    has_credit = true;
-                    break;
-                }
-            }
-            if (!has_credit)
-                continue;
-        }
-        // Reservoir-sample among this output's candidates (random
-        // arbiter, one iteration).
-        if (cand_stamp_[o_local] != now) {
-            cand_stamp_[o_local] = now;
-            cand_count_[o_local] = 1;
-            cand_ivc_[o_local] = static_cast<std::int32_t>(local);
-            touched_outs_.push_back(o_local);
-        } else {
-            ++cand_count_[o_local];
-            if (rng_.uniform(cand_count_[o_local]) == 0)
-                cand_ivc_[o_local] = static_cast<std::int32_t>(local);
-        }
-    }
-
-    // Commit phase.
-    for (std::int32_t o_local : touched_outs_) {
-        std::int32_t local = cand_ivc_[o_local];
-        std::int64_t iport = base_port + local / V;
-        if (in_busy_[iport] > now)
-            continue;  // another VC of this port won already
-        std::int64_t gi = iport * V + (local % V);
-        std::int64_t o_gid = base_port + o_local;
-        int head = q_head_[gi];
-        std::int64_t rb = gi * cap + head;
-        std::int32_t pkt = ring_pkt_[rb];
-
-        std::int64_t peer = out_peer_ivc_base_[o_gid];
-        int out_vc = -1;
-        if (peer >= 0) {
-            // Random VC among those with credit, within the packet's
-            // allowed range.
-            int vc_lo, vc_hi;
-            vcRange(pkt, vc_lo, vc_hi);
-            int seen = 0;
-            for (int v = vc_lo; v < vc_hi; ++v) {
-                if (out_credits_[o_gid * V + v] > 0) {
-                    ++seen;
-                    if (rng_.uniform(seen) == 0)
-                        out_vc = v;
-                }
-            }
-            if (out_vc < 0)
-                continue;
-        }
-
-        // Dequeue.
-        q_head_[gi] = static_cast<std::uint8_t>((head + 1) % cap);
-        if (--q_count_[gi] == 0) {
-            auto pos = nonempty_pos_[gi];
-            auto &list = nonempty_[s];
-            nonempty_pos_[base_port * V +
-                          static_cast<std::int64_t>(list.back())] = pos;
-            list[pos] = list.back();
-            list.pop_back();
-            nonempty_pos_[gi] = -1;
-        }
-
-        in_busy_[iport] = now + cfg_.pkt_phits;
-        out_busy_[o_gid] = now + cfg_.pkt_phits;
-        // The slot at this switch drains when the tail leaves.
-        scheduleRelease(now + cfg_.pkt_phits, feeder_out_[iport],
-                        static_cast<int>(local % V));
-
-        if (peer < 0) {
-            // Ejection: the packet is delivered when its tail arrives.
-            long long done = now + cfg_.link_latency + cfg_.pkt_phits;
-            if (now >= win_start_ && now < win_end_) {
-                ++delivered_;
-                delivered_phits_ += cfg_.pkt_phits;
-                long long lat = done - pool_[pkt].gen;
-                lat_sum_ += static_cast<double>(lat);
-                lat_hist_.add(lat);
-                hop_sum_ += pool_[pkt].hops;
-            }
-            freePkt(pkt);
-            if constexpr (kGuards) {
-                ++ejected_pkts_;
-                last_progress_ = now;
-            }
-        } else {
-            if constexpr (kGuards) {
-                check_.countChecks();
-                if (out_credits_[o_gid * V + out_vc] <= 0)
-                    check_.report("credit-negative", now, s, out_vc,
-                                  "forwarded without credit on out port " +
-                                      std::to_string(o_gid));
-            }
-            --out_credits_[o_gid * V + out_vc];
-            std::int64_t di = peer + out_vc;
-            int dpos = (q_head_[di] + q_count_[di]) % cap;
-            ring_pkt_[di * cap + dpos] = pkt;
-            ring_ready_[di * cap + dpos] =
-                static_cast<std::int32_t>(now + cfg_.link_latency);
-            std::int64_t peer_iport = peer / V;
-            int dest_sw = port_owner_[peer_iport];
-            if (q_count_[di]++ == 0) {
-                nonempty_pos_[di] = static_cast<std::int32_t>(
-                    nonempty_[dest_sw].size());
-                nonempty_[dest_sw].push_back(static_cast<std::uint16_t>(
-                    (peer_iport - iport_off_[dest_sw]) * V + out_vc));
-            }
-            ++pool_[pkt].hops;
-            activateSwitch(dest_sw);
-            if constexpr (kGuards) {
-                ++slots_held_[di];
-                check_.countChecks();
-                if (q_count_[di] > cap)
-                    check_.report("vc-occupancy", now, dest_sw, out_vc,
-                                  "forward overfilled input buffer");
-                last_progress_ = now;
-            }
-        }
-    }
-
-    // The candidate scratch is shared across switches; invalidate the
-    // stamps so the next switch processed this cycle starts clean.
-    for (std::int32_t o_local : touched_outs_)
-        cand_stamp_[o_local] = -1;
-}
-
-SimResult
-Simulator::run()
-{
-    const long long total = cfg_.warmup + cfg_.measure;
-    win_start_ = cfg_.warmup;
-    win_end_ = total;
-
-    traffic_.init(num_terms_, rng_);
-
-    // Stagger initial generation times uniformly over one packet time
-    // to avoid a synchronized burst at cycle 0.
-    for (long long t = 0; cfg_.load > 0.0 && t < num_terms_; ++t) {
-        long long start = static_cast<long long>(
-            rng_.uniform(static_cast<std::uint64_t>(cfg_.pkt_phits)));
-        next_gen_[t] = start;
-        gen_wheel_[start % kGenWheel].push_back(
-            static_cast<std::int32_t>(t));
-    }
-
-    for (long long now = 0; now < total; ++now) {
-        processReleases(now);
-        processGeneration(now);
-        processInjection(now);
-
-        std::swap(active_list_, active_scratch_);
-        active_list_.clear();
-        for (int s : active_scratch_)
-            sw_active_[s] = 0;
-        for (int s : active_scratch_) {
-            arbitrateSwitch(s, now);
-            if (!nonempty_[s].empty())
-                activateSwitch(s);
-        }
-        active_scratch_.clear();
-
-        if constexpr (kGuards)
-            guardCycle(now);
-    }
-
-    SimResult r;
-    r.offered = cfg_.load;
-    r.generated_packets = generated_;
-    r.delivered_packets = delivered_;
-    r.suppressed_packets = suppressed_;
-    r.unroutable_packets = unroutable_;
-    r.accepted = static_cast<double>(delivered_phits_) /
-                 (static_cast<double>(cfg_.measure) *
-                  static_cast<double>(num_terms_));
-    if (delivered_ > 0) {
-        r.avg_latency = lat_sum_ / static_cast<double>(delivered_);
-        r.avg_hops = hop_sum_ / static_cast<double>(delivered_);
-        r.p50_latency = lat_hist_.quantile(0.50);
-        r.p99_latency = lat_hist_.quantile(0.99);
-    }
-    return r;
+    config.validate();
+    engine_ = std::make_unique<VctEngine<UpDownPolicy>>(
+        layout_, traffic, config,
+        UpDownPolicy(fc, oracle, layout_, config));
 }
 
 } // namespace rfc

@@ -23,102 +23,27 @@
  * backpressure; the reported metrics are accepted load and average
  * packet latency (generation to tail ejection) over a measurement
  * window that follows a warm-up phase.
+ *
+ * All flow-control mechanics live in the shared core engine
+ * (sim/core/engine.hpp); this class is the folded Clos instantiation:
+ * it builds the port-level FabricLayout from the FoldedClos and plugs
+ * in the up/down routing policy (sim/core/policy_updown.hpp).
  */
 #ifndef RFC_SIM_SIMULATOR_HPP
 #define RFC_SIM_SIMULATOR_HPP
 
-#include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "check/guard.hpp"
 #include "clos/folded_clos.hpp"
 #include "routing/updown.hpp"
+#include "sim/core/config.hpp"
+#include "sim/core/engine.hpp"
+#include "sim/core/layout.hpp"
+#include "sim/core/policy_updown.hpp"
 #include "sim/traffic.hpp"
-#include "util/rng.hpp"
 
 namespace rfc {
-
-/** Up-phase port selection discipline. */
-enum class RouteMode
-{
-    /**
-     * A uniformly random up port among *all* parents from which the
-     * destination stays reachable - not necessarily minimal.  Spreads
-     * concentrated (adversarial) flows over the full ECMP fan-out at
-     * the cost of longer average paths (trades ~2% uniform throughput
-     * for ~10x better worst-case point-to-point bandwidth).
-     */
-    kUpDownRandom,
-    /**
-     * Strictly minimal up/down: only parents on a shortest route.
-     * Default - it reproduces the paper's Figure 8-10 ratios (e.g.
-     * random-pairing RFC ~ 88% of CFT).
-     */
-    kMinimal,
-    /**
-     * Valiant randomized routing: minimal up/down to a uniformly
-     * random intermediate leaf, then minimal up/down to the
-     * destination.  The dragonfly-style baseline the paper contrasts
-     * RFCs with: it caps adversarial degradation at ~50% of peak but
-     * pays double traversal on friendly traffic.  Deadlock freedom
-     * comes from phase-partitioned virtual channels (phase 0 uses the
-     * lower half, phase 1 the upper half), so it requires vcs >= 2.
-     */
-    kValiant,
-};
-
-/** Simulation parameters (defaults = Table 2 of the paper). */
-struct SimConfig
-{
-    int vcs = 4;              //!< virtual channels per port
-    int buf_packets = 4;      //!< buffer depth per VC, in packets
-    int pkt_phits = 16;       //!< packet length in phits
-    int link_latency = 1;     //!< cycles for a header to cross a link
-    long long warmup = 3000;  //!< warm-up cycles (not measured)
-    long long measure = 10000; //!< measured cycles
-    double load = 0.5;        //!< offered load, phits/node/cycle
-    std::uint64_t seed = 1;   //!< RNG seed (experiments are reproducible)
-    int source_queue = 16;    //!< per-terminal source queue, packets
-    RouteMode route_mode = RouteMode::kMinimal;
-};
-
-/** Aggregated measurement results. */
-struct SimResult
-{
-    double offered = 0.0;      //!< configured offered load
-    double accepted = 0.0;     //!< delivered phits/node/cycle in window
-    double avg_latency = 0.0;  //!< mean packet latency, cycles
-    double p50_latency = 0.0;  //!< median latency (log-bucket estimate)
-    double p99_latency = 0.0;  //!< 99th percentile latency (estimate)
-    double avg_hops = 0.0;     //!< mean switch-to-switch hops
-    long long delivered_packets = 0;
-    long long generated_packets = 0;
-    long long suppressed_packets = 0;  //!< source queue full
-    long long unroutable_packets = 0;  //!< no up/down route (faults)
-};
-
-/**
- * Power-of-two-bucket latency histogram: O(1) insert, percentile
- * estimates by linear interpolation inside the winning bucket.  Tail
- * percentiles are what distinguish a loaded RFC from a loaded CFT long
- * before the mean moves.
- */
-class LatencyHistogram
-{
-  public:
-    /** Record one latency sample (cycles, >= 0). */
-    void add(long long cycles);
-
-    long long count() const { return total_; }
-
-    /** Approximate value at quantile q in [0, 1]. */
-    double quantile(double q) const;
-
-  private:
-    static constexpr int kBuckets = 48;
-    long long bucket_[kBuckets] = {};
-    long long total_ = 0;
-};
 
 /** One network simulation instance. */
 class Simulator
@@ -132,136 +57,22 @@ class Simulator
               Traffic &traffic, SimConfig config);
 
     /** Run warm-up plus measurement and return the metrics. */
-    SimResult run();
+    SimResult run() { return engine_->run(); }
 
     /**
      * Runtime invariant guard results (populated only when the library
      * is built with -DRFC_CHECK_INVARIANTS=ON; otherwise the guards
      * compile out and this context stays empty).
      */
-    const CheckContext &checkContext() const { return check_; }
+    const CheckContext &
+    checkContext() const
+    {
+        return engine_->checkContext();
+    }
 
   private:
-    void buildStructures();
-    void processReleases(long long now);
-    void processGeneration(long long now);
-    void processInjection(long long now);
-    void arbitrateSwitch(int s, long long now);
-    void scheduleRelease(long long at, std::int32_t feeder, int vc);
-    void activateSwitch(int s);
-    void scheduleInjection(int t, long long at);
-
-    /** Random minimal up/down output port at switch s, or -1. */
-    int routeOutput(int s, std::int32_t pkt, long long now);
-
-    const FoldedClos &fc_;
-    const UpDownOracle &oracle_;
-    Traffic &traffic_;
-    SimConfig cfg_;
-    Rng rng_;
-
-    // --- static structure -------------------------------------------
-    int num_switches_ = 0;
-    long long num_terms_ = 0;
-    int tpl_ = 0;  //!< terminals per leaf
-
-    std::vector<std::int32_t> iport_off_;  //!< per switch, port gid base
-    std::vector<std::int32_t> n_up_, n_down_, n_ports_;
-    std::int64_t total_ports_ = 0;
-
-    // Per out-port (gid): destination ivc base or -1 for ejection.
-    std::vector<std::int64_t> out_peer_ivc_base_;
-    std::vector<std::int64_t> out_busy_;
-    std::vector<std::int16_t> out_credits_;  //!< [gid * vcs + vc]
-    // Per in-port (gid).
-    std::vector<std::int64_t> in_busy_;
-    std::vector<std::int32_t> feeder_out_;  //!< out gid or -(terminal+1)
-    std::vector<std::int32_t> port_owner_;  //!< per port gid, switch id
-
-    // Per ivc = in-port gid * vcs + vc: ring buffer of packets.
-    std::vector<std::int32_t> ring_pkt_;
-    std::vector<std::int32_t> ring_ready_;
-    std::vector<std::uint8_t> q_head_, q_count_;
-
-    // Per switch: local ivc ids with non-empty queues.
-    std::vector<std::vector<std::uint16_t>> nonempty_;
-    std::vector<std::int32_t> nonempty_pos_;  //!< per ivc, index or -1
-
-    // --- terminals ---------------------------------------------------
-    std::vector<std::int64_t> inj_busy_;
-    std::vector<std::int8_t> inj_credits_;   //!< [t * vcs + vc]
-    std::vector<std::int32_t> src_dest_;     //!< [t * source_queue + k]
-    std::vector<std::int32_t> src_gen_;
-    std::vector<std::int16_t> sq_head_, sq_count_;
-    std::vector<std::int64_t> next_gen_;
-    std::vector<std::uint8_t> inj_scheduled_;
-
-    // --- packet pool -------------------------------------------------
-    struct PoolPkt
-    {
-        std::int32_t dest_leaf;
-        std::int16_t dest_local;
-        std::int16_t hops;
-        std::int32_t gen;
-        std::int32_t inter_leaf;  //!< Valiant intermediate (-1 = none)
-        std::int8_t phase;        //!< 0 = toward intermediate, 1 = final
-    };
-
-    /** Current routing target of a packet (flips phase at the
-     *  Valiant intermediate). */
-    std::int32_t targetLeaf(std::int32_t pkt, int s);
-    /** Allowed VC range [lo, hi) for a packet under the active mode. */
-    void vcRange(std::int32_t pkt, int &lo, int &hi) const;
-    std::vector<PoolPkt> pool_;
-    std::vector<std::int32_t> free_pkts_;
-    std::int32_t allocPkt();
-    void freePkt(std::int32_t id);
-
-    // --- wheels ------------------------------------------------------
-    struct Release
-    {
-        std::int32_t feeder;
-        std::int8_t vc;
-    };
-    int wheel_size_ = 0;
-    std::vector<std::vector<Release>> release_wheel_;
-    static constexpr int kGenWheel = 1024;
-    std::vector<std::vector<std::int32_t>> gen_wheel_;
-    std::vector<std::vector<std::int32_t>> inj_wheel_;
-
-    // --- activity ----------------------------------------------------
-    std::vector<std::uint8_t> sw_active_;
-    std::vector<std::int32_t> active_list_, active_scratch_;
-
-    // --- arbitration scratch ----------------------------------------
-    std::vector<std::int32_t> cand_ivc_;    //!< per local out, candidate
-    std::vector<std::int32_t> cand_count_;
-    std::vector<std::int64_t> cand_stamp_;
-    std::vector<std::int32_t> touched_outs_;
-    std::vector<int> choice_scratch_;
-
-    // --- stats -------------------------------------------------------
-    long long win_start_ = 0, win_end_ = 0;
-    long long delivered_ = 0, generated_ = 0, suppressed_ = 0;
-    long long unroutable_ = 0;
-    double lat_sum_ = 0.0, hop_sum_ = 0.0;
-    long long delivered_phits_ = 0;
-    LatencyHistogram lat_hist_;
-
-    // --- runtime invariant guards ------------------------------------
-    // Every use sits behind `if constexpr (kGuards)`, so with the
-    // RFC_CHECK_INVARIANTS option OFF the guards compile out entirely.
-    static constexpr bool kGuards = invariantChecksEnabled();
-    CheckContext check_;
-    long long injected_pkts_ = 0;  //!< packets entered into the network
-    long long ejected_pkts_ = 0;   //!< packets delivered (pool freed)
-    long long queued_pkts_ = 0;    //!< packets waiting in source queues
-    long long last_progress_ = 0;  //!< last cycle any packet moved
-    std::vector<std::int32_t> slots_held_;  //!< per ivc, occupied slots
-    /** Per-cycle conservation + watchdog; full scans every 256 cycles. */
-    void guardCycle(long long now);
-    /** Full credit / occupancy conservation sweep. */
-    void guardScan(long long now);
+    FabricLayout layout_;  //!< must outlive engine_
+    std::unique_ptr<VctEngine<UpDownPolicy>> engine_;
 };
 
 } // namespace rfc

@@ -93,6 +93,54 @@ quantiles(std::vector<double> samples, const std::vector<double> &qs)
 }
 
 double
+binnedQuantile(const std::vector<long long> &counts,
+               const std::vector<double> &edges, double q)
+{
+    if (edges.size() != counts.size() + 1)
+        throw std::invalid_argument(
+            "binnedQuantile: need counts.size() + 1 edges");
+    if (!(q >= 0.0 && q <= 1.0))
+        throw std::invalid_argument("binnedQuantile: q outside [0, 1]");
+    long long total = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        if (counts[b] < 0)
+            throw std::invalid_argument("binnedQuantile: negative count");
+        if (!(edges[b] < edges[b + 1]))
+            throw std::invalid_argument(
+                "binnedQuantile: edges not strictly increasing");
+        total += counts[b];
+    }
+    if (total == 0)
+        throw std::invalid_argument("binnedQuantile: empty histogram");
+
+    // Position of order statistic k (0-based) under the evenly-spread
+    // model, by walking the cumulative counts.
+    auto value_at = [&](long long k) {
+        long long seen = 0;
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+            if (k < seen + counts[b]) {
+                double lo = edges[b];
+                double hi = edges[b + 1];
+                double within =
+                    (static_cast<double>(k - seen) + 0.5) /
+                    static_cast<double>(counts[b]);
+                return lo + within * (hi - lo);
+            }
+            seen += counts[b];
+        }
+        return edges.back();
+    };
+
+    double h = q * static_cast<double>(total - 1);
+    auto k = static_cast<long long>(h);
+    double frac = h - static_cast<double>(k);
+    double lo = value_at(k);
+    if (frac == 0.0 || k + 1 >= total)
+        return lo;
+    return lo + frac * (value_at(k + 1) - lo);
+}
+
+double
 chiSquareStat(const std::vector<long long> &observed,
               const std::vector<double> &expected)
 {

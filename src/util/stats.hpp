@@ -62,6 +62,23 @@ std::vector<double> quantiles(std::vector<double> samples,
                               const std::vector<double> &qs);
 
 /**
+ * Type-7 quantile of binned (histogram) data.  @p counts[i] samples
+ * fall in the half-open interval [edges[i], edges[i+1]) and are
+ * treated as evenly spread inside it: the j-th of c samples in a
+ * bucket (0-based) sits at lo + (j + 0.5) / c * (hi - lo).  The
+ * quantile then interpolates between consecutive order statistics at
+ * rank h = (N - 1) q, exactly like quantile() does on raw samples.
+ * Requires edges.size() == counts.size() + 1 with strictly increasing
+ * edges; throws std::invalid_argument on malformed input, an empty
+ * histogram, or q outside [0, 1].  Merging two histograms by summing
+ * counts yields the same quantiles as binning the concatenated
+ * samples, which is what makes per-shard latency histograms safely
+ * combinable.
+ */
+double binnedQuantile(const std::vector<long long> &counts,
+                      const std::vector<double> &edges, double q);
+
+/**
  * Pearson chi-square statistic sum((O_i - E_i)^2 / E_i) for observed
  * counts against expected counts (same length; zero-expected cells
  * with zero observations contribute nothing, otherwise infinity).

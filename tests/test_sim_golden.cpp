@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Golden-baseline reproduction tests for both VCT simulators.
+ *
+ * The files under tests/golden/ hold SimResult fields recorded from
+ * the pre-refactor simulators at fixed seeds (doubles in hexfloat, so
+ * the comparison is bit-exact, not approximate).  Any change to the
+ * flow-control core that alters a single RNG draw, a float summation
+ * order, or an arbitration decision shows up here as a failed field.
+ *
+ * Two fields are NOT pre-refactor bytes, by design: p50/p99_latency
+ * were re-recorded when LatencyHistogram switched to the shared
+ * type-7 binnedQuantile estimator (same bucket counts - avg_latency
+ * still matches the pre-refactor sum bit-exactly, which proves the
+ * identical sample set went in - different interpolation), and the
+ * direct-simulator baselines gained nonzero percentiles the old
+ * DirectSimulator never computed.  Every other field is byte-for-byte
+ * what the pre-refactor simulators produced.
+ *
+ * Re-recording (only legitimate when a behavior change is intended
+ * and documented):  RFC_GOLDEN_RECORD=1 ./test_sim_golden
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "clos/fat_tree.hpp"
+#include "clos/rfc.hpp"
+#include "graph/random_regular.hpp"
+#include "routing/ksp_tables.hpp"
+#include "routing/updown.hpp"
+#include "sim/direct.hpp"
+#include "sim/simulator.hpp"
+
+#ifndef RFC_GOLDEN_DIR
+#define RFC_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace rfc {
+namespace {
+
+bool
+recordMode()
+{
+    const char *env = std::getenv("RFC_GOLDEN_RECORD");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(RFC_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+/** Serialize every deterministic SimResult field (telemetry excluded). */
+std::map<std::string, std::string>
+fields(const SimResult &r)
+{
+    return {
+        {"offered", fmtDouble(r.offered)},
+        {"accepted", fmtDouble(r.accepted)},
+        {"avg_latency", fmtDouble(r.avg_latency)},
+        {"p50_latency", fmtDouble(r.p50_latency)},
+        {"p99_latency", fmtDouble(r.p99_latency)},
+        {"avg_hops", fmtDouble(r.avg_hops)},
+        {"delivered_packets", std::to_string(r.delivered_packets)},
+        {"generated_packets", std::to_string(r.generated_packets)},
+        {"suppressed_packets", std::to_string(r.suppressed_packets)},
+        {"unroutable_packets", std::to_string(r.unroutable_packets)},
+    };
+}
+
+void
+checkOrRecord(const std::string &name, const SimResult &r)
+{
+    auto got = fields(r);
+    if (recordMode()) {
+        std::ofstream out(goldenPath(name));
+        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath(name);
+        for (const auto &kv : got)
+            out << kv.first << " " << kv.second << "\n";
+        GTEST_LOG_(INFO) << "recorded golden " << name;
+        return;
+    }
+    std::ifstream in(goldenPath(name));
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << goldenPath(name)
+        << " (record with RFC_GOLDEN_RECORD=1)";
+    std::map<std::string, std::string> want;
+    std::string key, value;
+    while (in >> key >> value)
+        want[key] = value;
+    EXPECT_EQ(want.size(), got.size()) << "field set changed for " << name;
+    for (const auto &kv : want) {
+        auto it = got.find(kv.first);
+        ASSERT_NE(it, got.end()) << name << ": missing field " << kv.first;
+        EXPECT_EQ(kv.second, it->second)
+            << name << ": field " << kv.first << " diverged from the "
+            << "pre-refactor baseline";
+    }
+}
+
+SimConfig
+goldenConfig(double load, std::uint64_t seed)
+{
+    SimConfig cfg;
+    cfg.warmup = 200;
+    cfg.measure = 800;
+    cfg.load = load;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(SimGolden, CftUniformMinimal)
+{
+    auto fc = buildCft(8, 3);
+    UpDownOracle oracle(fc);
+    UniformTraffic traffic;
+    Simulator sim(fc, oracle, traffic, goldenConfig(0.5, 11));
+    checkOrRecord("cft8_uniform_minimal", sim.run());
+}
+
+TEST(SimGolden, CftUniformSaturated)
+{
+    auto fc = buildCft(8, 3);
+    UpDownOracle oracle(fc);
+    UniformTraffic traffic;
+    Simulator sim(fc, oracle, traffic, goldenConfig(0.95, 12));
+    checkOrRecord("cft8_uniform_saturated", sim.run());
+}
+
+TEST(SimGolden, CftPairingUpDownRandom)
+{
+    auto fc = buildCft(8, 3);
+    UpDownOracle oracle(fc);
+    RandomPairingTraffic traffic;
+    SimConfig cfg = goldenConfig(0.7, 13);
+    cfg.route_mode = RouteMode::kUpDownRandom;
+    Simulator sim(fc, oracle, traffic, cfg);
+    checkOrRecord("cft8_pairing_updownrandom", sim.run());
+}
+
+TEST(SimGolden, CftUniformValiant)
+{
+    auto fc = buildCft(8, 3);
+    UpDownOracle oracle(fc);
+    UniformTraffic traffic;
+    SimConfig cfg = goldenConfig(0.4, 14);
+    cfg.route_mode = RouteMode::kValiant;
+    Simulator sim(fc, oracle, traffic, cfg);
+    checkOrRecord("cft8_uniform_valiant", sim.run());
+}
+
+TEST(SimGolden, RfcUniformMinimal)
+{
+    Rng rng(5);
+    auto built = buildRfc(8, 3, 12, rng);
+    ASSERT_TRUE(built.routable);
+    UpDownOracle oracle(built.topology);
+    UniformTraffic traffic;
+    Simulator sim(built.topology, oracle, traffic,
+                  goldenConfig(0.6, 15));
+    checkOrRecord("rfc8_uniform_minimal", sim.run());
+}
+
+TEST(SimGolden, DirectUniform)
+{
+    Rng grng(6);
+    Graph g = randomRegularGraph(16, 4, grng);
+    KspRoutes routes(g, 4);
+    UniformTraffic traffic;
+    SimConfig cfg = goldenConfig(0.4, 16);
+    cfg.vcs = 6;
+    DirectSimulator sim(g, routes, 2, traffic, cfg);
+    checkOrRecord("rrn16_uniform", sim.run());
+}
+
+TEST(SimGolden, DirectPairingAllKsp)
+{
+    Rng grng(7);
+    Graph g = randomRegularGraph(16, 4, grng);
+    KspRoutes routes(g, 4);
+    RandomPairingTraffic traffic;
+    SimConfig cfg = goldenConfig(0.8, 17);
+    cfg.vcs = 6;
+    DirectSimulator sim(g, routes, 2, traffic, cfg,
+                        PathPolicy::kAllKsp);
+    checkOrRecord("rrn16_pairing_allksp", sim.run());
+}
+
+} // namespace
+} // namespace rfc
