@@ -14,16 +14,16 @@
  *
  * Grid declaration: the nested fault sets (one removal order per
  * topology, as in the paper's progression) are materialized up front
- * as 2*(steps+1) networks; the engine then runs the full cross
- * product networks x traffics at offered load 1.0 in parallel.
+ * via nestedFaultLevels() as 2*(steps+1) networks; the engine then
+ * runs the full cross product networks x traffics at offered load 1.0
+ * in parallel.
  */
 #include <cmath>
 #include <iostream>
-#include <memory>
 
+#include "analysis/fault_sweep.hpp"
 #include "bench_common.hpp"
 #include "clos/fat_tree.hpp"
-#include "clos/faults.hpp"
 #include "clos/rfc.hpp"
 #include "util/rng.hpp"
 
@@ -62,36 +62,27 @@ main(int argc, char **argv)
               << ", fault step: " << step_links << " links\n\n";
 
     // Nested fault sets: one removal order per topology, prefixes of
-    // which define every fault level.
+    // which define every fault level (the CFT order is drawn before
+    // the RFC order from the same stream, as the hand-rolled loop
+    // always did).
     Rng order_rng(base.seed + 1);
-    auto cft_order = randomLinkOrder(cft, order_rng);
-    auto rfc_order = randomLinkOrder(rfc_fc, order_rng);
-
-    struct FaultedPair
-    {
-        FoldedClos cft_cut, rfc_cut;
-        std::unique_ptr<UpDownOracle> o_cft, o_rfc;
-    };
-    std::vector<FaultedPair> levels(static_cast<std::size_t>(steps + 1));
-    for (int s = 0; s <= steps; ++s) {
-        auto f = static_cast<std::size_t>(s) *
-                 static_cast<std::size_t>(step_links);
-        auto &lvl = levels[static_cast<std::size_t>(s)];
-        lvl.cft_cut = withLinksRemoved(cft, cft_order, f);
-        lvl.rfc_cut = withLinksRemoved(rfc_fc, rfc_order, f);
-        lvl.o_cft = std::make_unique<UpDownOracle>(lvl.cft_cut);
-        lvl.o_rfc = std::make_unique<UpDownOracle>(lvl.rfc_cut);
-    }
+    auto n_levels = static_cast<std::size_t>(steps + 1);
+    auto cft_levels = nestedFaultLevels(
+        cft, n_levels, static_cast<std::size_t>(step_links), order_rng,
+        /*build_oracles=*/true);
+    auto rfc_levels = nestedFaultLevels(
+        rfc_fc, n_levels, static_cast<std::size_t>(step_links),
+        order_rng, /*build_oracles=*/true);
 
     const std::vector<std::string> traffics{"uniform", "random-pairing",
                                             "fixed-random"};
     ExperimentGrid grid;
     for (int s = 0; s <= steps; ++s) {
-        const auto &lvl = levels[static_cast<std::size_t>(s)];
-        grid.addNetwork("CFT@" + std::to_string(s), lvl.cft_cut,
-                        *lvl.o_cft);
-        grid.addNetwork("RFC@" + std::to_string(s), lvl.rfc_cut,
-                        *lvl.o_rfc);
+        auto b = static_cast<std::size_t>(s);
+        grid.addNetwork("CFT@" + std::to_string(s), cft_levels.cuts[b],
+                        *cft_levels.oracles[b]);
+        grid.addNetwork("RFC@" + std::to_string(s), rfc_levels.cuts[b],
+                        *rfc_levels.oracles[b]);
     }
     for (const auto &tname : traffics)
         grid.addTraffic(tname);

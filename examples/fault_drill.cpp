@@ -76,15 +76,16 @@ main(int argc, char **argv)
 
     // Nested fault snapshots: prefixes of one removal order per
     // topology, so batch b's faults are a superset of batch b-1's.
+    // probe() builds its own oracle per cut, so skip oracle builds.
     Rng order_rng(seed + 1);
-    auto cft_order = randomLinkOrder(cft, order_rng);
-    auto rfc_order = randomLinkOrder(rfc_net, order_rng);
     auto n_levels = static_cast<std::size_t>(batches + 1);
-    std::vector<FoldedClos> cft_cuts(n_levels), rfc_cuts(n_levels);
-    for (std::size_t b = 0; b < n_levels; ++b) {
-        cft_cuts[b] = withLinksRemoved(cft, cft_order, b * batch);
-        rfc_cuts[b] = withLinksRemoved(rfc_net, rfc_order, b * batch);
-    }
+    auto cft_levels = nestedFaultLevels(cft, n_levels, batch, order_rng,
+                                        /*build_oracles=*/false);
+    auto rfc_levels = nestedFaultLevels(rfc_net, n_levels, batch,
+                                        order_rng,
+                                        /*build_oracles=*/false);
+    auto &cft_cuts = cft_levels.cuts;
+    auto &rfc_cuts = rfc_levels.cuts;
 
     ExperimentEngine engine(opts.jobs(), seed);
     auto s_cft = engine.map<Snapshot>(

@@ -1,5 +1,6 @@
 #include "clos/faults.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rfc {
@@ -35,6 +36,120 @@ removeRandomLinks(FoldedClos &fc, std::size_t count, Rng &rng)
     for (const auto &link : order)
         fc.removeLink(link.lower, link.upper);
     return order;
+}
+
+// ======================================================================
+// LinkFaultState
+// ======================================================================
+
+LinkFaultState::LinkFaultState(const FoldedClos &fc) : fc_(&fc)
+{
+    const int n = fc.numSwitches();
+    up_dead_.resize(static_cast<std::size_t>(n));
+    down_dead_.resize(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+        up_dead_[static_cast<std::size_t>(s)].assign(fc.up(s).size(), 0);
+        down_dead_[static_cast<std::size_t>(s)].assign(fc.down(s).size(),
+                                                       0);
+    }
+}
+
+bool
+LinkFaultState::setLink(int lower, int upper, bool dead)
+{
+    if (!fc_)
+        throw std::logic_error("LinkFaultState: not bound to a topology");
+    const auto &up = fc_->up(lower);
+    auto &up_state = up_dead_[static_cast<std::size_t>(lower)];
+    const std::uint8_t want = dead ? 1 : 0;
+    // Locate the first instance of the link whose state differs, as an
+    // occurrence index k shared by both endpoint lists.
+    int k = -1, occurrence = 0;
+    std::size_t up_idx = 0;
+    for (std::size_t i = 0; i < up.size(); ++i) {
+        if (up[i] != upper)
+            continue;
+        if (k < 0 && up_state[i] != want) {
+            k = occurrence;
+            up_idx = i;
+        }
+        ++occurrence;
+    }
+    if (k < 0)
+        return false;
+    const auto &down = fc_->down(upper);
+    auto &down_state = down_dead_[static_cast<std::size_t>(upper)];
+    int seen = 0;
+    for (std::size_t i = 0; i < down.size(); ++i) {
+        if (down[i] != lower)
+            continue;
+        if (seen++ == k) {
+            if (down_state[i] == want)
+                throw std::logic_error(
+                    "LinkFaultState: endpoint masks out of sync");
+            down_state[i] = want;
+            up_state[up_idx] = want;
+            dead_ += dead ? 1 : -1;
+            return true;
+        }
+    }
+    throw std::logic_error("LinkFaultState: link lists out of sync");
+}
+
+// ======================================================================
+// FaultTimeline
+// ======================================================================
+
+FaultTimeline &
+FaultTimeline::add(long long cycle, int lower, int upper, bool fail)
+{
+    if (cycle < 0)
+        throw std::invalid_argument("FaultTimeline: cycle must be >= 0");
+    FaultEvent ev{cycle, lower, upper, fail};
+    // Stable insert: events of the same cycle keep insertion order.
+    auto it = std::upper_bound(
+        events_.begin(), events_.end(), cycle,
+        [](long long c, const FaultEvent &e) { return c < e.cycle; });
+    events_.insert(it, ev);
+    return *this;
+}
+
+FaultTimeline
+FaultTimeline::randomFailRepair(const FoldedClos &fc, std::size_t count,
+                                long long fail_at, long long repair_at,
+                                std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto order = randomLinkOrder(fc, rng);
+    if (count > order.size())
+        throw std::out_of_range(
+            "FaultTimeline::randomFailRepair: count > links");
+    if (repair_at >= 0 && repair_at <= fail_at)
+        throw std::invalid_argument(
+            "FaultTimeline::randomFailRepair: repair_at must be after "
+            "fail_at (or < 0 for no repair)");
+    FaultTimeline tl;
+    for (std::size_t i = 0; i < count; ++i)
+        tl.fail(fail_at, order[i].lower, order[i].upper);
+    if (repair_at >= 0)
+        for (std::size_t i = 0; i < count; ++i)
+            tl.repair(repair_at, order[i].lower, order[i].upper);
+    return tl;
+}
+
+long long
+FaultTimeline::firstFailCycle() const
+{
+    for (const FaultEvent &e : events_)
+        if (e.fail)
+            return e.cycle;
+    return -1;
+}
+
+long long
+FaultTimeline::lastEventCycle() const
+{
+    return events_.empty() ? -1 : events_.back().cycle;
 }
 
 } // namespace rfc

@@ -1,15 +1,28 @@
 /**
  * @file
- * Link-fault injection for the resiliency studies (Section 7).
+ * Link-fault machinery for the resiliency studies (Section 7) and the
+ * runtime fault-injection layer.
  *
- * Experiments remove random inter-switch links and ask two questions:
- * when does the switch graph physically disconnect (Table 3), and when
- * is up/down routing lost, i.e. some leaf pair loses its last common
- * ancestor (Figure 11)?
+ * Two fault models coexist:
+ *
+ *  - *Static snapshots*: copy the topology with links physically
+ *    removed up front (randomLinkOrder / withLinksRemoved), rebuild
+ *    routing from scratch, run a fresh simulation per fault level.
+ *    This reproduces the paper's before/after steady states (Table 3,
+ *    Figures 11-12).
+ *
+ *  - *Dynamic overlay*: keep the topology object immutable (so port
+ *    numbering and adjacency indices stay stable for a running
+ *    simulator) and flip links dead/alive in a LinkFaultState mask
+ *    while traffic is flowing, driven by a scheduled FaultTimeline.
+ *    The up/down oracle repairs itself incrementally against the
+ *    overlay (UpDownOracle::applyLinkEvent), which is what the
+ *    VctEngine's online fail/recovery path consumes.
  */
 #ifndef RFC_CLOS_FAULTS_HPP
 #define RFC_CLOS_FAULTS_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "clos/folded_clos.hpp"
@@ -34,6 +47,125 @@ FoldedClos withLinksRemoved(const FoldedClos &fc,
  */
 std::vector<ClosLink> removeRandomLinks(FoldedClos &fc, std::size_t count,
                                         Rng &rng);
+
+/**
+ * Dead/alive mask over the links of an (immutable) FoldedClos.
+ *
+ * The topology's adjacency lists are never touched, so local port
+ * indices - which the simulator's FabricLayout and the oracle's choice
+ * bitmasks are keyed by - remain valid across fail/repair events.
+ * Parallel wires between the same switch pair are tracked per
+ * instance: the k-th occurrence of `upper` in up(lower) pairs with the
+ * k-th occurrence of `lower` in down(upper) (addLink appends to both
+ * lists together, so occurrence order is consistent by construction).
+ */
+class LinkFaultState
+{
+  public:
+    LinkFaultState() = default;
+
+    /** Bind to @p fc with every link alive.  @p fc must outlive this. */
+    explicit LinkFaultState(const FoldedClos &fc);
+
+    /**
+     * Kill (@p dead = true) or revive one instance of the link
+     * lower-upper.  The first instance whose state differs is flipped.
+     * @return true when a state change happened (false: no such link,
+     * or every instance already had the requested state).
+     */
+    bool setLink(int lower, int upper, bool dead);
+
+    /** Is the @p i-th up link of switch @p s dead? */
+    bool
+    upDead(int s, std::size_t i) const
+    {
+        return up_dead_[static_cast<std::size_t>(s)][i] != 0;
+    }
+
+    /** Is the @p i-th down link of switch @p s dead? */
+    bool
+    downDead(int s, std::size_t i) const
+    {
+        return down_dead_[static_cast<std::size_t>(s)][i] != 0;
+    }
+
+    /** Number of currently dead links. */
+    std::size_t deadLinks() const { return dead_; }
+
+    const FoldedClos *topology() const { return fc_; }
+
+  private:
+    const FoldedClos *fc_ = nullptr;
+    std::vector<std::vector<std::uint8_t>> up_dead_, down_dead_;
+    std::size_t dead_ = 0;
+};
+
+/** One scheduled runtime link event. */
+struct FaultEvent
+{
+    long long cycle = 0;       //!< simulation cycle the event fires at
+    std::int32_t lower = -1;   //!< link endpoint at level i
+    std::int32_t upper = -1;   //!< link endpoint at level i+1
+    bool fail = true;          //!< true = link fails, false = repaired
+};
+
+/**
+ * Deterministic schedule of link fail/repair events, applied by the
+ * engine at cycle barriers (so sharded runs stay bit-identical at any
+ * thread count).  Events are kept sorted by cycle with insertion order
+ * as the tie-break; application order within a cycle is therefore part
+ * of the timeline definition, not of the execution.
+ */
+class FaultTimeline
+{
+  public:
+    FaultTimeline() = default;
+
+    /** Schedule one event (keeps the event list sorted by cycle). */
+    FaultTimeline &add(long long cycle, int lower, int upper, bool fail);
+
+    /** Schedule a link failure at @p cycle. */
+    FaultTimeline &
+    fail(long long cycle, int lower, int upper)
+    {
+        return add(cycle, lower, upper, true);
+    }
+
+    /** Schedule a link repair at @p cycle. */
+    FaultTimeline &
+    repair(long long cycle, int lower, int upper)
+    {
+        return add(cycle, lower, upper, false);
+    }
+
+    /**
+     * The canonical fail/recover drill: @p count uniformly random
+     * distinct links of @p fc fail at @p fail_at and - unless
+     * @p repair_at < 0 - are all repaired at @p repair_at.  The link
+     * draw depends only on @p seed (derive it with deriveSeed so
+     * sweeps stay reproducible at any parallelism).
+     */
+    static FaultTimeline randomFailRepair(const FoldedClos &fc,
+                                          std::size_t count,
+                                          long long fail_at,
+                                          long long repair_at,
+                                          std::uint64_t seed);
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    /** All events, sorted by (cycle, insertion order). */
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** Cycle of the first failure event, or -1 when none. */
+    long long firstFailCycle() const;
+
+    /** Cycle of the last event of any kind, or -1 when empty. */
+    long long lastEventCycle() const;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
 
 } // namespace rfc
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/fault_sweep.hpp"
 #include "routing/updown.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -42,6 +43,9 @@ PointResult::toSimResult() const
     r.generated_packets = std::llround(generated_packets.mean);
     r.suppressed_packets = std::llround(suppressed_packets.mean);
     r.unroutable_packets = std::llround(unroutable_packets.mean);
+    r.dropped_packets = std::llround(dropped_packets.mean);
+    r.rerouted_packets = std::llround(rerouted_packets.mean);
+    r.route_retries = std::llround(route_retries.mean);
     r.perf = perf;
     return r;
 }
@@ -152,8 +156,16 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
 
         auto traffic = spec.traffic();
         auto start = std::chrono::steady_clock::now();
-        Simulator sim(*spec.topology, *spec.oracle, *traffic, cfg);
-        trial_results[t] = sim.run();
+        if (spec.timeline) {
+            // Fault-injection trial: the simulator owns a private
+            // overlay + incrementally repaired oracle.
+            Simulator sim(*spec.topology, *traffic, cfg,
+                          *spec.timeline);
+            trial_results[t] = sim.run();
+        } else {
+            Simulator sim(*spec.topology, *spec.oracle, *traffic, cfg);
+            trial_results[t] = sim.run();
+        }
         trial_seconds[t] = seconds(start,
                                    std::chrono::steady_clock::now());
     });
@@ -161,10 +173,22 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
     std::vector<PointResult> out(n_points);
     for (std::size_t p = 0; p < n_points; ++p) {
         RunningStat acc, lat, p50, p99, hops, del, gen, sup, unr;
+        RunningStat drp, rer, ret, ttr, dip;
+        const TrialSpec &spec = pts[p];
+        const bool recovery =
+            spec.timeline && spec.config.telemetry_bin > 0;
+        const long long fail_cycle =
+            recovery ? spec.timeline->firstFailCycle() : -1;
+        const long long total_cycles =
+            spec.config.warmup + spec.config.measure;
         PointResult &pr = out[p];
-        pr.label = pts[p].label;
-        pr.offered = pts[p].config.load;
+        pr.label = spec.label;
+        pr.offered = spec.config.load;
         pr.reps = reps;
+        // Only fault trials carry a recovery story; leaving this 0 for
+        // plain points keeps the "recovery" JSON object off them even
+        // when their config recorded telemetry bins.
+        pr.telemetry_bin = recovery ? spec.config.telemetry_bin : 0;
         for (int rep = 0; rep < reps; ++rep) {
             const std::size_t t =
                 p * static_cast<std::size_t>(reps) +
@@ -179,6 +203,25 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
             gen.add(static_cast<double>(r.generated_packets));
             sup.add(static_cast<double>(r.suppressed_packets));
             unr.add(static_cast<double>(r.unroutable_packets));
+            drp.add(static_cast<double>(r.dropped_packets));
+            rer.add(static_cast<double>(r.rerouted_packets));
+            ret.add(static_cast<double>(r.route_retries));
+            if (recovery) {
+                RecoveryStats rec = computeRecovery(
+                    r.delivered_bins, r.telemetry_bin, total_cycles,
+                    fail_cycle);
+                ttr.add(static_cast<double>(rec.time_to_reconverge));
+                dip.add(rec.dip_fraction);
+                if (pr.delivered_bins_mean.size() <
+                    r.delivered_bins.size())
+                    pr.delivered_bins_mean.resize(
+                        r.delivered_bins.size(), 0.0);
+                for (std::size_t b = 0; b < r.delivered_bins.size();
+                     ++b)
+                    pr.delivered_bins_mean[b] +=
+                        static_cast<double>(r.delivered_bins[b]) /
+                        static_cast<double>(reps);
+            }
             pr.trial_seconds_total += trial_seconds[t];
             pr.trial_seconds_max =
                 std::max(pr.trial_seconds_max, trial_seconds[t]);
@@ -193,6 +236,13 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
         pr.generated_packets = toMetricStat(gen);
         pr.suppressed_packets = toMetricStat(sup);
         pr.unroutable_packets = toMetricStat(unr);
+        pr.dropped_packets = toMetricStat(drp);
+        pr.rerouted_packets = toMetricStat(rer);
+        pr.route_retries = toMetricStat(ret);
+        if (recovery) {
+            pr.time_to_reconverge = toMetricStat(ttr);
+            pr.dip_fraction = toMetricStat(dip);
+        }
     }
     return out;
 }
@@ -246,19 +296,20 @@ writeMetric(JsonWriter &w, const char *name, const MetricStat &m,
 } // namespace
 
 void
-writeGridJson(std::ostream &os, const ExperimentGrid &grid,
-              const GridResult &result, std::uint64_t base_seed)
+writePointsJson(std::ostream &os, const std::vector<PointResult> &points,
+                std::uint64_t base_seed, int jobs, double wall_seconds,
+                int repetitions)
 {
     JsonWriter w(os);
     w.beginObject();
-    w.kv("jobs", static_cast<std::int64_t>(result.jobs));
+    w.kv("jobs", static_cast<std::int64_t>(jobs));
     w.kv("base_seed", static_cast<std::uint64_t>(base_seed));
-    w.kv("repetitions", static_cast<std::int64_t>(grid.repetitions));
-    w.kv("wall_seconds", result.wall_seconds);
+    w.kv("repetitions", static_cast<std::int64_t>(repetitions));
+    w.kv("wall_seconds", wall_seconds);
 
     w.key("points");
     w.beginArray();
-    for (const auto &p : result.points) {
+    for (const auto &p : points) {
         w.beginObject();
         w.kv("label", p.label);
         w.kv("offered", p.offered);
@@ -276,6 +327,26 @@ writeGridJson(std::ostream &os, const ExperimentGrid &grid,
                     p.reps);
         writeMetric(w, "unroutable_packets", p.unroutable_packets,
                     p.reps);
+        writeMetric(w, "dropped_packets", p.dropped_packets, p.reps);
+        writeMetric(w, "rerouted_packets", p.rerouted_packets, p.reps);
+        writeMetric(w, "route_retries", p.route_retries, p.reps);
+        if (p.telemetry_bin > 0) {
+            // Fault-recovery telemetry: the headline numbers plus the
+            // mean throughput dip/recovery curve.
+            w.key("recovery");
+            w.beginObject();
+            w.kv("telemetry_bin",
+                 static_cast<std::int64_t>(p.telemetry_bin));
+            writeMetric(w, "time_to_reconverge", p.time_to_reconverge,
+                        p.reps);
+            writeMetric(w, "dip_fraction", p.dip_fraction, p.reps);
+            w.key("delivered_bins_mean");
+            w.beginArray();
+            for (double b : p.delivered_bins_mean)
+                w.value(b);
+            w.endArray();
+            w.endObject();
+        }
         // Engine counters: bit-stable across jobs values (they depend
         // on the simulated physics only), so they belong outside
         // "timing" and take part in determinism diffs.
@@ -309,6 +380,14 @@ writeGridJson(std::ostream &os, const ExperimentGrid &grid,
     }
     w.endArray();
     w.endObject();
+}
+
+void
+writeGridJson(std::ostream &os, const ExperimentGrid &grid,
+              const GridResult &result, std::uint64_t base_seed)
+{
+    writePointsJson(os, result.points, base_seed, result.jobs,
+                    result.wall_seconds, grid.repetitions);
 }
 
 } // namespace rfc

@@ -53,6 +53,14 @@ struct TrialSpec
     TrafficFactory traffic;
     SimConfig config;      //!< load/mode/etc; seed overridden per trial
     std::string label;     //!< free-form point label for reports
+
+    /**
+     * Optional runtime fault schedule: when set, the trial runs the
+     * fault-injection simulator (each trial owns a private link-state
+     * overlay and incrementally repaired oracle; `oracle` above is
+     * ignored and may stay null).  Shared read-only across trials.
+     */
+    const FaultTimeline *timeline = nullptr;
 };
 
 /** Mean / spread snapshot of one metric over the reps of a point. */
@@ -81,6 +89,17 @@ struct PointResult
     MetricStat generated_packets;   //!< per-trial mean, not a sum
     MetricStat suppressed_packets;  //!< per-trial mean, not a sum
     MetricStat unroutable_packets;  //!< per-trial mean, not a sum
+    MetricStat dropped_packets;     //!< TTL drops (per-trial mean)
+    MetricStat rerouted_packets;    //!< route-loss recoveries (mean)
+    MetricStat route_retries;       //!< route-less head-packet cycles
+
+    // ---- fault-recovery aggregates ------------------------------
+    // Populated when the point's trials carried a FaultTimeline and
+    // telemetry bins (SimConfig::telemetry_bin > 0).
+    MetricStat time_to_reconverge;  //!< cycles after first failure (-1 = never)
+    MetricStat dip_fraction;        //!< min post-failure rate / baseline
+    std::vector<double> delivered_bins_mean;  //!< mean recovery curve
+    long long telemetry_bin = 0;    //!< bin width of the curve (0 = none)
 
     double trial_seconds_total = 0.0;  //!< summed per-trial wall clock
     double trial_seconds_max = 0.0;    //!< slowest trial at this point
@@ -236,6 +255,18 @@ MetricStat toMetricStat(const RunningStat &s);
  */
 void writeGridJson(std::ostream &os, const ExperimentGrid &grid,
                    const GridResult &result, std::uint64_t base_seed);
+
+/**
+ * Emit a bare point list (the runPoints shape - fault drills and other
+ * non-grid sweeps) as the same JSON document writeGridJson produces.
+ * Points carrying recovery telemetry additionally get a "recovery"
+ * object: time-to-reconverge, dip fraction and the mean delivered-per-
+ * bin curve.
+ */
+void writePointsJson(std::ostream &os,
+                     const std::vector<PointResult> &points,
+                     std::uint64_t base_seed, int jobs,
+                     double wall_seconds, int repetitions);
 
 } // namespace rfc
 

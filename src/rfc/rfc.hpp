@@ -21,6 +21,7 @@
 #define RFC_RFC_HPP
 
 #include "analysis/cost.hpp"
+#include "analysis/fault_sweep.hpp"
 #include "analysis/resiliency.hpp"
 #include "analysis/scalability.hpp"
 #include "clos/expansion.hpp"

@@ -1,12 +1,30 @@
 #include "routing/updown.hpp"
 
+#include <stdexcept>
+
 namespace rfc {
 
 void
-UpDownOracle::build(const FoldedClos &fc)
+UpDownOracle::recomputeBelow(const FoldedClos &fc, int s,
+                             DynBitset &out) const
+{
+    out.clear();
+    if (s < num_leaves_) {
+        out.set(static_cast<std::size_t>(s));
+        return;
+    }
+    const auto &down = fc.down(s);
+    for (std::size_t i = 0; i < down.size(); ++i)
+        if (downAlive(s, i))
+            out |= reach_[0][down[i]];
+}
+
+void
+UpDownOracle::build(const FoldedClos &fc, const LinkFaultState *faults)
 {
     levels_ = fc.levels();
     num_leaves_ = fc.numLeaves();
+    faults_ = faults;
     const int s_count = fc.numSwitches();
 
     reach_.assign(levels_,
@@ -14,25 +32,114 @@ UpDownOracle::build(const FoldedClos &fc)
                       s_count, DynBitset(static_cast<std::size_t>(
                                    num_leaves_))));
 
-    // reach_0 = below: bottom-up accumulation.
+    // reach_0 = below: bottom-up accumulation over alive down links.
     for (int leaf = 0; leaf < num_leaves_; ++leaf)
         reach_[0][leaf].set(static_cast<std::size_t>(leaf));
     for (int lv = 2; lv <= levels_; ++lv) {
         int lo = fc.levelOffset(lv);
         int hi = lo + fc.switchesAtLevel(lv);
-        for (int s = lo; s < hi; ++s)
-            for (int c : fc.down(s))
-                reach_[0][s] |= reach_[0][c];
+        for (int s = lo; s < hi; ++s) {
+            const auto &down = fc.down(s);
+            for (std::size_t i = 0; i < down.size(); ++i)
+                if (downAlive(s, i))
+                    reach_[0][s] |= reach_[0][down[i]];
+        }
     }
 
-    // reach_j from reach_{j-1}, walking parents.
+    // reach_j from reach_{j-1}, walking alive parents.
     for (int j = 1; j < levels_; ++j) {
         for (int s = 0; s < s_count; ++s) {
             reach_[j][s] = reach_[j - 1][s];
-            for (int p : fc.up(s))
-                reach_[j][s] |= reach_[j - 1][p];
+            const auto &up = fc.up(s);
+            for (std::size_t i = 0; i < up.size(); ++i)
+                if (upAlive(s, i))
+                    reach_[j][s] |= reach_[j - 1][up[i]];
         }
     }
+
+    scratch_ = DynBitset(static_cast<std::size_t>(num_leaves_));
+    mark_.assign(static_cast<std::size_t>(s_count), 0);
+    mark_epoch_ = 0;
+}
+
+void
+UpDownOracle::applyLinkEvent(const FoldedClos &fc, int lower, int upper)
+{
+    if (reach_.empty())
+        throw std::logic_error("UpDownOracle: applyLinkEvent before build");
+
+    auto push_unique = [&](std::vector<int> &list, int s) {
+        if (mark_[static_cast<std::size_t>(s)] != mark_epoch_) {
+            mark_[static_cast<std::size_t>(s)] = mark_epoch_;
+            list.push_back(s);
+        }
+    };
+
+    // ---- ascent budget 0: the ancestor cone of `upper` --------------
+    // below[upper] may have gained or lost leaves; the change ripples
+    // to exactly those ancestors whose recomputed union differs.
+    changed_.clear();
+    dirty_a_.clear();
+    ++mark_epoch_;
+    push_unique(dirty_a_, upper);
+    while (!dirty_a_.empty()) {
+        dirty_b_.clear();
+        ++mark_epoch_;
+        for (int s : dirty_a_) {
+            recomputeBelow(fc, s, scratch_);
+            if (!(scratch_ == reach_[0][s])) {
+                reach_[0][s] = scratch_;
+                changed_.push_back(s);
+                for (int p : fc.up(s))
+                    push_unique(dirty_b_, p);
+            }
+        }
+        dirty_a_.swap(dirty_b_);
+    }
+
+    // ---- ascent budgets 1 .. l-1 ------------------------------------
+    // reach_j[s] reads reach_{j-1} of s and of its alive parents, so a
+    // budget-j entry can only change when (a) its switch's budget-(j-1)
+    // entry changed, (b) a parent's budget-(j-1) entry changed (i.e. s
+    // is a down-neighbor of a changed switch), or (c) the switch's own
+    // up-edge set changed - which is `lower`, at every budget.
+    // changed_ currently holds the budget-0 changed set.
+    for (int j = 1; j < levels_; ++j) {
+        dirty_a_.clear();
+        ++mark_epoch_;
+        push_unique(dirty_a_, lower);
+        for (int x : changed_) {
+            push_unique(dirty_a_, x);
+            for (int c : fc.down(x))
+                push_unique(dirty_a_, c);
+        }
+        changed_.clear();
+        for (int s : dirty_a_) {
+            scratch_ = reach_[j - 1][s];
+            const auto &up = fc.up(s);
+            for (std::size_t i = 0; i < up.size(); ++i)
+                if (upAlive(s, i))
+                    scratch_ |= reach_[j - 1][up[i]];
+            if (!(scratch_ == reach_[j][s])) {
+                reach_[j][s] = scratch_;
+                changed_.push_back(s);
+            }
+        }
+        // Once a budget level absorbs the event without any entry
+        // changing, every higher budget reads unchanged inputs: the
+        // only budget-(j+1) candidate left would be `lower`, whose
+        // inputs (its own and its parents' budget-j entries) are all
+        // unchanged too.
+        if (changed_.empty())
+            break;
+    }
+}
+
+bool
+UpDownOracle::sameTables(const UpDownOracle &o) const
+{
+    return levels_ == o.levels_ && num_leaves_ == o.num_leaves_ &&
+           reach_ == o.reach_;
 }
 
 int
@@ -107,7 +214,7 @@ UpDownOracle::downChoices(const FoldedClos &fc, int s, int dest_leaf,
     auto d = static_cast<std::size_t>(dest_leaf);
     const auto &down = fc.down(s);
     for (std::size_t i = 0; i < down.size(); ++i)
-        if (reach_[0][down[i]].test(d))
+        if (downAlive(s, i) && reach_[0][down[i]].test(d))
             out.push_back(static_cast<int>(i));
 }
 
@@ -122,7 +229,7 @@ UpDownOracle::upChoices(const FoldedClos &fc, int s, int dest_leaf,
     auto d = static_cast<std::size_t>(dest_leaf);
     const auto &up = fc.up(s);
     for (std::size_t i = 0; i < up.size(); ++i)
-        if (reach_[need - 1][up[i]].test(d))
+        if (upAlive(s, i) && reach_[need - 1][up[i]].test(d))
             out.push_back(static_cast<int>(i));
 }
 
@@ -141,7 +248,7 @@ UpDownOracle::feasibleUpChoices(const FoldedClos &fc, int s,
     int lv_parent = fc.levelOf(s) + 1;
     int budget = levels_ - lv_parent;
     for (std::size_t i = 0; i < up.size(); ++i)
-        if (reach_[budget][up[i]].test(d))
+        if (upAlive(s, i) && reach_[budget][up[i]].test(d))
             out.push_back(static_cast<int>(i));
 }
 
@@ -156,23 +263,25 @@ UpDownOracle::randomNextHop(const FoldedClos &fc, int s, int dest_leaf,
     if (need == 0) {
         if (s == dest_leaf)
             return s;
-        // Reservoir-sample a child containing dest.
+        // Reservoir-sample an alive child containing dest.
+        const auto &down = fc.down(s);
         int chosen = -1, seen = 0;
-        for (int c : fc.down(s)) {
-            if (reach_[0][c].test(d)) {
+        for (std::size_t i = 0; i < down.size(); ++i) {
+            if (downAlive(s, i) && reach_[0][down[i]].test(d)) {
                 ++seen;
                 if (rng.uniform(static_cast<std::uint64_t>(seen)) == 0)
-                    chosen = c;
+                    chosen = down[i];
             }
         }
         return chosen;
     }
+    const auto &up = fc.up(s);
     int chosen = -1, seen = 0;
-    for (int p : fc.up(s)) {
-        if (reach_[need - 1][p].test(d)) {
+    for (std::size_t i = 0; i < up.size(); ++i) {
+        if (upAlive(s, i) && reach_[need - 1][up[i]].test(d)) {
             ++seen;
             if (rng.uniform(static_cast<std::uint64_t>(seen)) == 0)
-                chosen = p;
+                chosen = up[i];
         }
     }
     return chosen;

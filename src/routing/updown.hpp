@@ -15,12 +15,22 @@
  *  - the network-wide routability predicate of Theorem 4.2
  *    (reach_{l-1}[leaf] = all leaves, for every leaf), and
  *  - minimal up/down path lengths for latency accounting.
+ *
+ * Dynamic faults: bind a LinkFaultState overlay at build time and the
+ * oracle sees only alive links - both in the reachability tables and
+ * in every next-hop choice.  After the overlay flips one link, call
+ * applyLinkEvent() to repair the tables incrementally: only the
+ * entries in the affected ancestor cone are recomputed, instead of the
+ * full O(levels * switches * leaves / 64) rebuild.  sameTables()
+ * cross-checks an incrementally repaired oracle against a fresh one.
  */
 #ifndef RFC_ROUTING_UPDOWN_HPP
 #define RFC_ROUTING_UPDOWN_HPP
 
+#include <cstdint>
 #include <vector>
 
+#include "clos/faults.hpp"
 #include "clos/folded_clos.hpp"
 #include "util/bitset.hpp"
 #include "util/rng.hpp"
@@ -36,8 +46,33 @@ class UpDownOracle
     /** Build the oracle for @p fc (O(l * switches * leaves / 64) time). */
     explicit UpDownOracle(const FoldedClos &fc) { build(fc); }
 
-    /** (Re)build for a (possibly modified) topology. */
-    void build(const FoldedClos &fc);
+    /** (Re)build for a (possibly modified) topology, all links alive. */
+    void build(const FoldedClos &fc) { build(fc, nullptr); }
+
+    /**
+     * (Re)build with a link-state overlay: dead links do not
+     * contribute reachability and are never offered as next hops.
+     * @p faults (may be null = all alive) must outlive the oracle and
+     * stay bound to @p fc; copies of the oracle share the overlay.
+     */
+    void build(const FoldedClos &fc, const LinkFaultState *faults);
+
+    /**
+     * Incrementally repair the tables after the bound overlay changed
+     * the state of the link lower-upper (either direction: fail or
+     * repair).  Only entries whose value can change are recomputed:
+     * reach_0 over the ancestor cone of @p upper, then per ascent
+     * budget the changed set plus its down-neighborhood plus @p lower
+     * (whose up-edge set changed).  The result is exactly equal to a
+     * fresh build() against the same overlay.
+     */
+    void applyLinkEvent(const FoldedClos &fc, int lower, int upper);
+
+    /** Exact table equality (the incremental-repair cross-check). */
+    bool sameTables(const UpDownOracle &o) const;
+
+    /** The bound link-state overlay (null = all links alive). */
+    const LinkFaultState *faultOverlay() const { return faults_; }
 
     /** Leaves reachable from @p s going only down. */
     const DynBitset &below(int s) const { return reach_[0][s]; }
@@ -110,10 +145,30 @@ class UpDownOracle
     int numLeaves() const { return num_leaves_; }
 
   private:
+    bool upAlive(int s, std::size_t i) const
+    {
+        return !faults_ || !faults_->upDead(s, i);
+    }
+
+    bool downAlive(int s, std::size_t i) const
+    {
+        return !faults_ || !faults_->downDead(s, i);
+    }
+
+    /** reach_0[s] recomputed from alive children into @p out. */
+    void recomputeBelow(const FoldedClos &fc, int s, DynBitset &out) const;
+
     int levels_ = 0;
     int num_leaves_ = 0;
     // reach_[j][s]: leaves reachable from s with <= j up hops.
     std::vector<std::vector<DynBitset>> reach_;
+    const LinkFaultState *faults_ = nullptr;
+
+    // applyLinkEvent scratch (kept across events to avoid allocation).
+    DynBitset scratch_;
+    std::vector<std::int32_t> mark_;
+    std::int32_t mark_epoch_ = 0;
+    std::vector<int> dirty_a_, dirty_b_, changed_;
 };
 
 } // namespace rfc

@@ -37,6 +37,11 @@ SimConfig::validate() const
         throw std::invalid_argument(
             "SimConfig: sharded mode needs link_latency >= 1 "
             "(cross-shard arrivals are exchanged at cycle barriers)");
+    if (route_ttl < 0)
+        throw std::invalid_argument("SimConfig: route_ttl must be >= 0");
+    if (telemetry_bin < 0)
+        throw std::invalid_argument(
+            "SimConfig: telemetry_bin must be >= 0");
     if (route_mode == RouteMode::kValiant && vcs < 2)
         throw std::invalid_argument("Valiant routing needs vcs >= 2 "
                                     "(phase-partitioned channels)");

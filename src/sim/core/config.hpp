@@ -88,6 +88,33 @@ struct SimConfig
     int jobs = 1;
 
     /**
+     * Graceful-degradation TTL for packets that lost their route to a
+     * runtime fault: an unroutable head-of-queue packet older than
+     * this many cycles (age = now - generation cycle, so the TTL also
+     * bounds the per-packet re-route retry budget) is dropped and
+     * counted in dropped_packets.  0 keeps the historical park-forever
+     * behavior (packets wait for a repair indefinitely), which is what
+     * the golden baselines were recorded with.
+     */
+    int route_ttl = 0;
+
+    /**
+     * Recovery-telemetry bin width in cycles: > 0 records delivered
+     * packets per bin over the whole run (warmup included) into
+     * SimResult::delivered_bins, the throughput dip/recovery curve of
+     * a fault drill.  0 disables the series.
+     */
+    long long telemetry_bin = 0;
+
+    /**
+     * Cross-check mode for incremental oracle repair: after every
+     * fault-timeline event the repaired tables are compared against a
+     * freshly built oracle and a mismatch throws.  Expensive -
+     * meant for tests, not sweeps.
+     */
+    bool fault_crosscheck = false;
+
+    /**
      * Throw std::invalid_argument on any parameter a simulation cannot
      * run with: vcs or buf_packets or pkt_phits < 1, negative link
      * latency, empty measurement window (measure < 1, which is also
@@ -139,7 +166,24 @@ struct SimResult
     long long delivered_packets = 0;
     long long generated_packets = 0;
     long long suppressed_packets = 0;  //!< source queue full
-    long long unroutable_packets = 0;  //!< no route (faults)
+    long long unroutable_packets = 0;  //!< no route at injection (faults)
+
+    // ---- fault-recovery accounting (whole run, not just the window) --
+    long long ejected_packets = 0;   //!< all-time ejections
+    long long dropped_packets = 0;   //!< TTL drops of unroutable packets
+    long long rerouted_packets = 0;  //!< packets that lost a route, then found one
+    long long route_retries = 0;     //!< cycles head packets spent route-less
+    long long in_flight_packets = 0; //!< packets still in the network at end
+    long long queued_packets_end = 0; //!< packets still in source queues at end
+
+    /**
+     * Delivered packets per telemetry bin (bin width echoed in
+     * telemetry_bin; empty when SimConfig::telemetry_bin == 0).
+     * Covers the whole run from cycle 0, so a fault drill's dip and
+     * recovery are visible even when they straddle the warmup edge.
+     */
+    std::vector<long long> delivered_bins;
+    long long telemetry_bin = 0;
 
     PerfCounters perf;         //!< engine counters for this run
 };

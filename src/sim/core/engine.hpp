@@ -12,7 +12,9 @@
  * routing Policy:
  *
  *   struct Policy {
- *     struct Pkt { std::int32_t gen; ... };   // payload (gen = birth cycle)
+ *     // payload: gen = birth cycle; noroute is engine-owned state
+ *     // (set while the packet is parked without a route).
+ *     struct Pkt { std::int32_t gen; std::uint8_t noroute; ... };
  *     bool routable(long long term, long long dest) const;
  *     // Injection VC for the head-of-queue packet, or -1 to retry
  *     // next cycle.  `credits` points at the terminal's per-VC
@@ -32,6 +34,9 @@
  *                     Rng &rng);
  *     void onForward(Pkt &p);          // per-hop bookkeeping
  *     double hopsOf(const Pkt &p) const;
+ *     // Invalidate routing caches after a cycle hook mutated the
+ *     // routing tables (runtime link fail/repair).
+ *     void onTopologyChange();
  *   };
  *
  * Policies must be copyable: sharded execution clones one instance
@@ -65,6 +70,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -177,6 +183,31 @@ class VctEngine
     /** Run warm-up plus measurement and return the metrics. */
     SimResult run();
 
+    /**
+     * Install a deterministic cycle hook (the fault-injection entry
+     * point).  At the start of every cycle listed in @p cycles the
+     * engine invokes @p hook(now) with every worker parked at a
+     * barrier, then calls onTopologyChange() on each shard's policy
+     * copy - so the hook may mutate the routing tables all policies
+     * read.  The hook cycles are part of the experiment definition;
+     * results stay bit-identical at any `jobs` value.  Must be called
+     * before run().
+     */
+    void
+    setCycleHook(std::vector<long long> cycles,
+                 std::function<void(long long)> hook)
+    {
+        std::sort(cycles.begin(), cycles.end());
+        cycles.erase(std::unique(cycles.begin(), cycles.end()),
+                     cycles.end());
+        if (!cycles.empty() && cycles.front() < 0)
+            throw std::invalid_argument(
+                "VctEngine: hook cycles must be >= 0");
+        hook_cycles_ = std::move(cycles);
+        hook_ = std::move(hook);
+        hook_idx_ = 0;
+    }
+
     /** Guard results (empty unless built with RFC_CHECK_INVARIANTS). */
     const CheckContext &checkContext() const { return check_; }
 
@@ -245,6 +276,11 @@ class VctEngine
         long long delivered_phits = 0;
         LatencyHistogram lat_hist;
         PerfCounters perf;
+
+        // Fault-recovery accounting (whole run, always on).
+        long long ejected_all = 0, dropped = 0, rerouted = 0;
+        long long route_retries = 0;
+        std::vector<long long> bins;  //!< delivered per telemetry bin
 
         CheckContext check;
         long long injected = 0, ejected = 0, queued = 0;
@@ -370,6 +406,21 @@ class VctEngine
     /** Shared commit step; returns true when the packet moved. */
     bool commitCandidate(ShardCtx &c, std::int64_t gi, std::int64_t o_gid,
                          long long now);
+    /** Dequeue the head of @p gi and schedule its slot release. */
+    std::int32_t dequeueHead(ShardCtx &c, std::int64_t gi, long long now);
+    /** TTL-drop the head of @p gi (no route within route_ttl cycles). */
+    void dropHead(ShardCtx &c, std::int64_t gi, long long now);
+    /** Record an ejection in the telemetry bin series. */
+    void
+    recordBin(ShardCtx &c, long long now)
+    {
+        if (cfg_.telemetry_bin > 0) {
+            auto b = static_cast<std::size_t>(now / cfg_.telemetry_bin);
+            if (b >= c.bins.size())
+                c.bins.resize(b + 1, 0);
+            ++c.bins[b];
+        }
+    }
 
     void drainOutboxes(ShardCtx &c, long long now);
     void sampleOccupancy(ShardCtx &c);
@@ -378,6 +429,24 @@ class VctEngine
     void guardCycleLegacy(ShardCtx &c, long long now);
     void guardScanGlobal(long long now);
     void guardConservationGlobal(long long now);
+
+    // ---- cycle hook (fault injection) ------------------------------
+    bool
+    hookDue(long long now) const
+    {
+        return hook_idx_ < hook_cycles_.size() &&
+               hook_cycles_[hook_idx_] == now;
+    }
+
+    /** Invoke the due hook and refresh every shard's policy caches. */
+    void
+    runHook(long long now)
+    {
+        hook_(now);
+        ++hook_idx_;
+        for (ShardCtx &c : shards_)
+            c.policy.onTopologyChange();
+    }
 
     // ---- run loops --------------------------------------------------
     void runLegacy(long long total);
@@ -427,6 +496,14 @@ class VctEngine
     std::vector<std::int64_t> cand_ivc_;
     std::vector<std::int32_t> cand_count_;
     std::vector<std::int64_t> cand_stamp_;
+    // Legacy-mode TTL drops, deferred past the commit phase (the scan
+    // iterates nonempty_[s], which dropping would mutate).
+    std::vector<std::int64_t> drop_scratch_;
+
+    // ---- cycle hook -------------------------------------------------
+    std::vector<long long> hook_cycles_;
+    std::size_t hook_idx_ = 0;
+    std::function<void(long long)> hook_;
 
     // ---- shards -----------------------------------------------------
     std::vector<ShardCtx> shards_;
@@ -693,6 +770,7 @@ VctEngine<Policy>::processInjection(ShardCtx &c, long long now)
         std::int32_t id = allocPkt(c);
         Pkt &p = pkt(id);
         p.gen = gen;
+        p.noroute = 0;
         c.policy.initPacket(p, t, dest, c.rng);
 
         std::int64_t gi = lay_.term_iport[t] * V + best_vc;
@@ -707,6 +785,61 @@ VctEngine<Policy>::processInjection(ShardCtx &c, long long now)
             scheduleInjection(c, t, inj_busy_[t]);
     }
     slot.clear();
+}
+
+/**
+ * Dequeue the head packet of input VC @p gi and schedule the buffer
+ * slot release at the feeder (the slot drains when the tail leaves).
+ * Shared by the forward/eject commit and the TTL drop path; the caller
+ * owns the returned packet id.
+ */
+template <class Policy>
+std::int32_t
+VctEngine<Policy>::dequeueHead(ShardCtx &c, std::int64_t gi, long long now)
+{
+    const int V = cfg_.vcs;
+    const int cap = cfg_.buf_packets;
+    std::int64_t iport = gi / V;
+    int head = q_head_[gi];
+    std::int32_t id = ring_[gi * cap + head].pkt;
+    int nh = head + 1;
+    q_head_[gi] = static_cast<std::uint8_t>(nh >= cap ? nh - cap : nh);
+    if (--q_count_[gi] == 0 && !sharded_) {
+        int s = lay_.port_owner[iport];
+        auto pos = nonempty_pos_[gi];
+        auto &list = nonempty_[s];
+        nonempty_pos_[static_cast<std::int64_t>(lay_.iport_off[s]) * V +
+                      static_cast<std::int64_t>(list.back())] = pos;
+        list[pos] = list.back();
+        list.pop_back();
+        nonempty_pos_[gi] = -1;
+    }
+    // The buffer slot at this switch drains when the tail leaves.
+    scheduleRelease(c, now + cfg_.pkt_phits, lay_.feeder_out[iport],
+                    static_cast<int>(gi % V));
+    return id;
+}
+
+/**
+ * Drop the head packet of @p gi: it has been route-less longer than
+ * route_ttl allows.  The packet evaporates from the buffer (its slot
+ * still drains tail-timed like a forward, keeping credit conservation
+ * exact) and is counted in dropped - never in delivered.
+ */
+template <class Policy>
+void
+VctEngine<Policy>::dropHead(ShardCtx &c, std::int64_t gi, long long now)
+{
+    std::int32_t id = dequeueHead(c, gi, now);
+    ++c.dropped;
+    freePkt(c, id);
+    if constexpr (kGuards)
+        c.last_progress = now;
+    if (sharded_ && q_count_[gi] > 0) {
+        long long ready =
+            ring_[gi * cfg_.buf_packets + q_head_[gi]].ready;
+        wakePush(c, gi, std::max<long long>(ready, now + 1));
+    }
 }
 
 /**
@@ -738,25 +871,10 @@ VctEngine<Policy>::commitCandidate(ShardCtx &c, std::int64_t gi,
         }
     }
 
-    // Dequeue.
-    int nh = head + 1;
-    q_head_[gi] = static_cast<std::uint8_t>(nh >= cap ? nh - cap : nh);
-    if (--q_count_[gi] == 0 && !sharded_) {
-        int s = lay_.port_owner[iport];
-        auto pos = nonempty_pos_[gi];
-        auto &list = nonempty_[s];
-        nonempty_pos_[static_cast<std::int64_t>(lay_.iport_off[s]) * V +
-                      static_cast<std::int64_t>(list.back())] = pos;
-        list[pos] = list.back();
-        list.pop_back();
-        nonempty_pos_[gi] = -1;
-    }
+    dequeueHead(c, gi, now);
 
     in_busy_[iport] = now + cfg_.pkt_phits;
     out_busy_[o_gid] = now + cfg_.pkt_phits;
-    // The buffer slot at this switch drains when the tail leaves.
-    scheduleRelease(c, now + cfg_.pkt_phits, lay_.feeder_out[iport],
-                    static_cast<int>(gi % V));
     ++c.perf.forwards;
 
     if (peer < 0) {
@@ -770,6 +888,8 @@ VctEngine<Policy>::commitCandidate(ShardCtx &c, std::int64_t gi,
             c.lat_hist.add(lat);
             c.hop_sum += c.policy.hopsOf(p);
         }
+        ++c.ejected_all;
+        recordBin(c, now);
         freePkt(c, id);
         if constexpr (kGuards) {
             ++c.ejected;
@@ -829,8 +949,22 @@ VctEngine<Policy>::arbitrateSwitchLegacy(ShardCtx &c, int s, long long now)
         Pkt &p = pkt(head.pkt);
         int fixed_vc = -1;
         int o_local = c.policy.routeOut(s, p, c.rng, fixed_vc);
-        if (o_local < 0)
+        if (o_local < 0) {
+            // No route from here (runtime fault): park, or drop once
+            // older than the TTL.  Dropping is deferred past the
+            // commit phase - it mutates the nonempty list this scan
+            // iterates.
+            ++c.route_retries;
+            p.noroute = 1;
+            if (cfg_.route_ttl > 0 &&
+                now - static_cast<long long>(p.gen) >= cfg_.route_ttl)
+                drop_scratch_.push_back(gi);
             continue;
+        }
+        if (p.noroute) {
+            p.noroute = 0;
+            ++c.rerouted;
+        }
         std::int64_t o_gid = base_port + o_local;
         if (out_busy_[o_gid] > now)
             continue;
@@ -877,6 +1011,13 @@ VctEngine<Policy>::arbitrateSwitchLegacy(ShardCtx &c, int s, long long now)
     // stamps so the next switch processed this cycle starts clean.
     for (std::int64_t o_local : c.touched_outs)
         cand_stamp_[o_local] = -1;
+
+    // Deferred TTL drops (each gi appears at most once per scan, and
+    // commits never dequeue from a route-less VC, so the head each
+    // entry refers to is still in place).
+    for (std::int64_t gi : drop_scratch_)
+        dropHead(c, gi, now);
+    drop_scratch_.clear();
 }
 
 // ======================================================================
@@ -917,9 +1058,22 @@ VctEngine<Policy>::arbitrateShard(ShardCtx &c, long long now)
         int fixed_vc = -1;
         int o_local = c.policy.routeOut(s, p, c.rng, fixed_vc);
         if (o_local < 0) {
-            // Unroutable from here (faults): park until next cycle.
-            wakePush(c, gi, now + 1);
+            // No route from here (runtime fault): retry next cycle
+            // against the (possibly repaired) tables, or drop once the
+            // packet is older than the TTL.  route_ttl == 0 preserves
+            // the historical park-forever behavior.
+            ++c.route_retries;
+            p.noroute = 1;
+            if (cfg_.route_ttl > 0 &&
+                now - static_cast<long long>(p.gen) >= cfg_.route_ttl)
+                dropHead(c, gi, now);
+            else
+                wakePush(c, gi, now + 1);
             continue;
+        }
+        if (p.noroute) {
+            p.noroute = 0;
+            ++c.rerouted;
         }
         std::int64_t o_gid = lay_.iport_off[s] + o_local;
         bool blocked = out_busy_[o_gid] > now;
@@ -1096,6 +1250,7 @@ VctEngine<Policy>::guardConservationGlobal(long long now)
         long long allocated = 0, freed = 0;
         long long injected = 0, ejected = 0, queued = 0;
         long long generated = 0, suppressed = 0, unroutable = 0;
+        long long dropped = 0;
         long long last_progress = 0;
         for (const ShardCtx &c : shards_) {
             allocated += c.arena.size();
@@ -1106,18 +1261,21 @@ VctEngine<Policy>::guardConservationGlobal(long long now)
             generated += c.generated;
             suppressed += c.suppressed;
             unroutable += c.unroutable;
+            dropped += c.dropped;
             last_progress = std::max(last_progress, c.last_progress);
         }
         long long in_flight = allocated - freed;
         check_.countChecks(2);
         // Packet conservation: every packet entered into the network
-        // is either still in flight (pool slot in use) or was ejected.
-        if (injected != in_flight + ejected)
+        // is still in flight (pool slot in use), was ejected, or was
+        // TTL-dropped after losing its route - nothing leaks.
+        if (injected != in_flight + ejected + dropped)
             check_.report("packet-conservation", now, -1, -1,
                           "injected " + std::to_string(injected) +
                               " != in-flight " +
                               std::to_string(in_flight) + " + ejected " +
-                              std::to_string(ejected));
+                              std::to_string(ejected) + " + dropped " +
+                              std::to_string(dropped));
         // Source-queue accounting: generated packets are queued,
         // injected, suppressed or unroutable - nothing vanishes.
         if (generated != queued + injected + suppressed + unroutable)
@@ -1175,6 +1333,8 @@ VctEngine<Policy>::runLegacy(long long total)
     }
 
     for (long long now = 0; now < total; ++now) {
+        if (hookDue(now))
+            runHook(now);
         processReleases(c, now);
         processGeneration(c, now);
         processInjection(c, now);
@@ -1244,6 +1404,8 @@ VctEngine<Policy>::runSharded(long long total)
 
     if (T <= 1) {
         for (long long now = 0; now < total; ++now) {
+            if (hookDue(now))
+                runHook(now);
             for (ShardCtx &c : shards_)
                 shardCyclePhase1(c, now);
             for (ShardCtx &c : shards_)
@@ -1261,6 +1423,17 @@ VctEngine<Policy>::runSharded(long long total)
     core_detail::CycleBarrier barrier(T);
     auto worker = [&](int tid) {
         for (long long now = 0; now < total; ++now) {
+            // Cycle hooks mutate shared routing state: park every
+            // worker, let one apply the event, resume.  hook_idx_ only
+            // moves inside this double barrier, so all threads agree
+            // on hookDue(now) (the previous cycle's barriers order the
+            // update before this read).
+            if (hookDue(now)) {
+                barrier.arriveAndWait();
+                if (tid == 0)
+                    runHook(now);
+                barrier.arriveAndWait();
+            }
             for (int k = tid; k < S; k += T)
                 shardCyclePhase1(shards_[k], now);
             barrier.arriveAndWait();
@@ -1292,12 +1465,27 @@ VctEngine<Policy>::collectResult(double wall_seconds)
 {
     SimResult r;
     r.offered = cfg_.load;
+    r.telemetry_bin = cfg_.telemetry_bin;
+    if (cfg_.telemetry_bin > 0) {
+        auto nbins = static_cast<std::size_t>(
+            (cfg_.warmup + cfg_.measure + cfg_.telemetry_bin - 1) /
+            cfg_.telemetry_bin);
+        r.delivered_bins.assign(nbins, 0);
+    }
     LatencyHistogram hist;
     for (ShardCtx &c : shards_) {
         r.generated_packets += c.generated;
         r.delivered_packets += c.delivered;
         r.suppressed_packets += c.suppressed;
         r.unroutable_packets += c.unroutable;
+        r.ejected_packets += c.ejected_all;
+        r.dropped_packets += c.dropped;
+        r.rerouted_packets += c.rerouted;
+        r.route_retries += c.route_retries;
+        r.in_flight_packets +=
+            c.arena.size() - static_cast<long long>(c.free_pkts.size());
+        for (std::size_t b = 0; b < c.bins.size(); ++b)
+            r.delivered_bins[b] += c.bins[b];
         r.avg_latency += c.lat_sum;
         r.avg_hops += c.hop_sum;
         r.accepted += static_cast<double>(c.delivered_phits);
@@ -1305,6 +1493,8 @@ VctEngine<Policy>::collectResult(double wall_seconds)
         r.perf.merge(c.perf);
         check_.merge(c.check);
     }
+    for (long long t = 0; t < lay_.num_terms; ++t)
+        r.queued_packets_end += sq_count_[t];
     r.accepted /= static_cast<double>(cfg_.measure) *
                   static_cast<double>(lay_.num_terms);
     if (r.delivered_packets > 0) {

@@ -38,6 +38,7 @@ class KspPolicy
         std::int16_t dest_local; //!< terminal index at dest_sw
         std::int16_t hop;        //!< links crossed so far
         std::int16_t cur_out;    //!< resolved out port (-1 = not yet)
+        std::uint8_t noroute;    //!< engine-owned: parked without a route
     };
 
     KspPolicy(const Graph &g, const KspRoutes &routes,
@@ -127,6 +128,9 @@ class KspPolicy
     }
 
     double hopsOf(const Pkt &p) const { return p.hop; }
+
+    /** Paths are fixed at injection; nothing cached per topology. */
+    void onTopologyChange() {}
 
   private:
     const Graph *g_;

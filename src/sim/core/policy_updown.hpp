@@ -36,6 +36,7 @@ class UpDownPolicy
         std::int16_t hops;
         std::int32_t inter_leaf;  //!< Valiant intermediate (-1 = none)
         std::int8_t phase;        //!< 0 = toward intermediate, 1 = final
+        std::uint8_t noroute;     //!< engine-owned: parked without a route
     };
 
     UpDownPolicy(const FoldedClos &fc, const UpDownOracle &oracle,
@@ -181,6 +182,13 @@ class UpDownPolicy
     void onForward(Pkt &p) { ++p.hops; }
 
     double hopsOf(const Pkt &p) const { return p.hops; }
+
+    /**
+     * The oracle's tables changed under us (runtime link fail/repair):
+     * every memoized choice entry may be stale, so drop the cache and
+     * refill lazily from the repaired oracle.
+     */
+    void onTopologyChange() { memo_.clear(); }
 
   private:
     /**

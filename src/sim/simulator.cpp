@@ -1,5 +1,9 @@
 #include "sim/simulator.hpp"
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 namespace rfc {
 
 Simulator::Simulator(const FoldedClos &fc, const UpDownOracle &oracle,
@@ -10,6 +14,62 @@ Simulator::Simulator(const FoldedClos &fc, const UpDownOracle &oracle,
     engine_ = std::make_unique<VctEngine<UpDownPolicy>>(
         layout_, traffic, config,
         UpDownPolicy(fc, oracle, layout_, config));
+}
+
+Simulator::FaultRuntime::FaultRuntime(const FoldedClos &topo,
+                                      const FaultTimeline &tl, bool check)
+    : fc(&topo), timeline(tl), overlay(topo), crosscheck(check)
+{
+    oracle.build(topo, &overlay);
+}
+
+void
+Simulator::FaultRuntime::apply(long long now)
+{
+    const auto &events = timeline.events();
+    bool touched = false;
+    while (next < events.size() && events[next].cycle <= now) {
+        const FaultEvent &e = events[next++];
+        // setLink() is false when the event is redundant (failing an
+        // already-dead link); the tables cannot have changed then.
+        if (overlay.setLink(e.lower, e.upper, e.fail)) {
+            oracle.applyLinkEvent(*fc, e.lower, e.upper);
+            touched = true;
+        }
+    }
+    if (crosscheck && touched) {
+        UpDownOracle fresh;
+        fresh.build(*fc, &overlay);
+        if (!oracle.sameTables(fresh))
+            throw std::logic_error(
+                "FaultRuntime: incremental oracle repair diverged from "
+                "a fresh rebuild at cycle " + std::to_string(now));
+    }
+}
+
+Simulator::Simulator(const FoldedClos &fc, Traffic &traffic,
+                     SimConfig config, const FaultTimeline &timeline)
+    : layout_(FabricLayout::fromFoldedClos(fc))
+{
+    config.validate();
+    faults_ = std::make_unique<FaultRuntime>(fc, timeline,
+                                             config.fault_crosscheck);
+    engine_ = std::make_unique<VctEngine<UpDownPolicy>>(
+        layout_, traffic, config,
+        UpDownPolicy(fc, faults_->oracle, layout_, config));
+    std::vector<long long> cycles;
+    cycles.reserve(timeline.size());
+    for (const FaultEvent &e : timeline.events())
+        cycles.push_back(e.cycle);
+    FaultRuntime *fr = faults_.get();
+    engine_->setCycleHook(std::move(cycles),
+                          [fr](long long now) { fr->apply(now); });
+}
+
+const UpDownOracle *
+Simulator::faultOracle() const
+{
+    return faults_ ? &faults_->oracle : nullptr;
 }
 
 } // namespace rfc

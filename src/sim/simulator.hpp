@@ -35,6 +35,7 @@
 #include <memory>
 
 #include "check/guard.hpp"
+#include "clos/faults.hpp"
 #include "clos/folded_clos.hpp"
 #include "routing/updown.hpp"
 #include "sim/core/config.hpp"
@@ -56,6 +57,19 @@ class Simulator
     Simulator(const FoldedClos &fc, const UpDownOracle &oracle,
               Traffic &traffic, SimConfig config);
 
+    /**
+     * Fault-injection run: bind a FaultTimeline whose link fail/repair
+     * events fire at cycle barriers while traffic flows.  The
+     * simulator owns a private link-state overlay plus a mutable
+     * oracle copy bound to it, repairs the oracle incrementally on
+     * every event (UpDownOracle::applyLinkEvent), and - when
+     * config.fault_crosscheck is set - proves each repair equal to a
+     * fresh rebuild (std::logic_error on mismatch).  @p fc, @p traffic
+     * must outlive the simulator; the timeline is copied.
+     */
+    Simulator(const FoldedClos &fc, Traffic &traffic, SimConfig config,
+              const FaultTimeline &timeline);
+
     /** Run warm-up plus measurement and return the metrics. */
     SimResult run() { return engine_->run(); }
 
@@ -70,8 +84,32 @@ class Simulator
         return engine_->checkContext();
     }
 
+    /**
+     * The simulator-owned oracle of a fault run (null for fault-free
+     * runs): after run() it reflects the end-of-timeline link state,
+     * which tests compare against a fresh rebuild.
+     */
+    const UpDownOracle *faultOracle() const;
+
   private:
+    /** Owned runtime state of a fault-injection run. */
+    struct FaultRuntime
+    {
+        const FoldedClos *fc;
+        FaultTimeline timeline;
+        LinkFaultState overlay;
+        UpDownOracle oracle;   //!< mutable copy, bound to the overlay
+        std::size_t next = 0;  //!< first unapplied timeline event
+        bool crosscheck = false;
+
+        FaultRuntime(const FoldedClos &topo, const FaultTimeline &tl,
+                     bool check);
+        /** Apply every event scheduled for cycle @p now. */
+        void apply(long long now);
+    };
+
     FabricLayout layout_;  //!< must outlive engine_
+    std::unique_ptr<FaultRuntime> faults_;  //!< must outlive engine_
     std::unique_ptr<VctEngine<UpDownPolicy>> engine_;
 };
 
