@@ -104,6 +104,30 @@ main(int argc, char **argv)
         f.print(std::cout);
     }
 
+    // Memory budget: what each representation costs to hold, and what
+    // the compressed forwarding tables save over dense per-entry
+    // storage (the deployable-artifact cost of "simple ECMP routing").
+    {
+        std::cout << "\nmemory budget (measured bytes):\n";
+        TablePrinter m({"topology", "topo-KiB", "oracle-KiB",
+                        "tables-KiB", "dense-KiB", "ratio",
+                        "unique-sets"});
+        for (const auto &net : nets) {
+            UpDownOracle oracle(net);
+            ForwardingTables tables(net, oracle);
+            auto kib = [](long long b) {
+                return TablePrinter::fmt(b / 1024.0, 1);
+            };
+            m.addRow({net.name(), kib(net.memoryBytes()),
+                      kib(oracle.memoryBytes()),
+                      kib(tables.memoryBytes()),
+                      kib(tables.denseMemoryBytes()),
+                      TablePrinter::fmt(tables.compressionRatio(), 2),
+                      TablePrinter::fmtInt(tables.uniqueSets())});
+        }
+        m.print(std::cout);
+    }
+
     // Jellyfish-style direct network as a reference row.
     int d = 2 * (levels - 1);
     std::cout << "\nreference direct network (RRN/Jellyfish) at "

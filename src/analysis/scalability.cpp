@@ -28,8 +28,10 @@ cftLevelsFor(long long terminals, int radix)
 long long
 rfcMaxTerminals(int radix, int levels)
 {
-    return static_cast<long long>(rfcMaxLeaves(radix, levels)) *
-           (radix / 2);
+    // rfcMaxLeavesLL: the threshold exceeds int range already at
+    // moderate radix/level combinations (R=54, l=5 -> N1 ~ 1.2e10),
+    // and the levels-for loops below probe exactly that regime.
+    return rfcMaxLeavesLL(radix, levels) * (radix / 2);
 }
 
 int

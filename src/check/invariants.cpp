@@ -129,8 +129,8 @@ sameTopology(const FoldedClos &a, const FoldedClos &b)
         return CheckResult::fail("name differs: '" + a.name() + "' vs '" +
                                  b.name() + "'");
     for (int s = 0; s < a.numSwitches(); ++s) {
-        auto ua = a.up(s);
-        auto ub = b.up(s);
+        std::vector<int> ua(a.up(s).begin(), a.up(s).end());
+        std::vector<int> ub(b.up(s).begin(), b.up(s).end());
         std::sort(ua.begin(), ua.end());
         std::sort(ub.begin(), ub.end());
         if (ua != ub)
@@ -368,7 +368,8 @@ checkForwardingTables(const FoldedClos &fc, const UpDownOracle &oracle,
                         expect.push_back(static_cast<std::uint16_t>(idx));
                 }
             }
-            auto got = tables.ports(sw, d);
+            const auto view = tables.ports(sw, d);
+            std::vector<std::uint16_t> got(view.begin(), view.end());
             std::sort(got.begin(), got.end());
             std::sort(expect.begin(), expect.end());
             if (got != expect)

@@ -11,6 +11,17 @@
  * A switch's adjacency is split into an up list (level + 1 neighbors)
  * and a down list (level - 1 neighbors).  Terminals attach only to
  * leaves, terminalsPerLeaf() per leaf, numbered leaf-major.
+ *
+ * Adjacency is stored CSR-style in two flat arrays (one for up lists,
+ * one for down lists): per-switch segments sized from the radix
+ * regularity of Definition 3.1 (R/2 up and R/2 down below the top, R
+ * down at the top), with int64 segment offsets and int32 fill counts
+ * and targets.  At a million terminals this replaces tens of millions
+ * of per-switch heap vectors with six flat allocations.  up(s)/down(s)
+ * return non-owning views; like vector iterators they are invalidated
+ * by addLink/removeLink.  Irregular wirings (manual tests, expansion
+ * intermediates) that outgrow a segment trigger a rare whole-array
+ * regrow, so the public contract is unchanged from the vector days.
  */
 #ifndef RFC_CLOS_FOLDED_CLOS_HPP
 #define RFC_CLOS_FOLDED_CLOS_HPP
@@ -20,6 +31,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/span.hpp"
 
 namespace rfc {
 
@@ -91,11 +103,25 @@ class FoldedClos
     /** Connect switch @p lower (level i) to @p upper (level i+1). */
     void addLink(int lower, int upper);
 
-    /** Up neighbors (parents) of switch @p s. */
-    const std::vector<std::int32_t> &up(int s) const { return up_[s]; }
+    /**
+     * Up neighbors (parents) of switch @p s.  The view is invalidated
+     * by addLink/removeLink; copy before mutating while iterating.
+     */
+    Span<std::int32_t>
+    up(int s) const
+    {
+        return {up_tgt_.data() + up_off_[s],
+                static_cast<std::size_t>(up_len_[s])};
+    }
 
-    /** Down neighbors (children) of switch @p s (empty for leaves). */
-    const std::vector<std::int32_t> &down(int s) const { return down_[s]; }
+    /** Down neighbors (children) of switch @p s (empty for leaves).
+     *  Same invalidation rule as up(). */
+    Span<std::int32_t>
+    down(int s) const
+    {
+        return {down_tgt_.data() + down_off_[s],
+                static_cast<std::size_t>(down_len_[s])};
+    }
 
     /**
      * Remove one instance of the link lower-upper.
@@ -135,14 +161,25 @@ class FoldedClos
     /** Lower to the plain switch graph (for diameter/bisection/faults). */
     Graph toGraph() const;
 
+    /** Measured bytes held by the CSR adjacency and level arrays. */
+    std::int64_t memoryBytes() const;
+
   private:
+    /** Widen switch @p s's segment in one CSR array (rare path). */
+    static void growSegment(std::vector<std::int64_t> &off,
+                            std::vector<std::int32_t> &tgt, int s);
+
     std::vector<int> level_count_;
     std::vector<int> level_offset_;
     int num_switches_ = 0;
     int radix_ = 0;
     int terminals_per_leaf_ = 0;
     std::string name_;
-    std::vector<std::vector<std::int32_t>> up_, down_;
+    // CSR adjacency: segment s of *_tgt_ spans [*_off_[s], *_off_[s+1])
+    // with the first *_len_[s] slots in use.
+    std::vector<std::int64_t> up_off_, down_off_;
+    std::vector<std::int32_t> up_len_, down_len_;
+    std::vector<std::int32_t> up_tgt_, down_tgt_;
 };
 
 } // namespace rfc

@@ -1,5 +1,6 @@
 #include "clos/oft.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "clos/projective.hpp"
@@ -31,6 +32,12 @@ buildOft3(const ProjectivePlane &pg)
 {
     const int n = pg.size();
     const int q = pg.order();
+    // Switch ids are int: 2*n^2 wraps already at q ~ 1290, so guard the
+    // level sizes in 64-bit before narrowing.
+    if (2LL * n * n > std::numeric_limits<int>::max())
+        throw std::invalid_argument(
+            "buildOft: level size 2*n^2 exceeds int range for q=" +
+            std::to_string(q));
     // Leaves and level-2 switches: (side, subtree, point/line);
     // roots: (line, line) grid.
     FoldedClos fc({2 * n * n, 2 * n * n, n * n}, 2 * (q + 1), q + 1,

@@ -1,6 +1,7 @@
 #include "clos/rfc.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -31,17 +32,19 @@ buildRfcUnchecked(int radix, int levels, int n1, Rng &rng)
                       ",l=" + std::to_string(levels) +
                       ",N1=" + std::to_string(n1) + ")");
 
+    // Stream each level's random pairing straight into the CSR
+    // adjacency: the bipartite generator's scratch dies with the level,
+    // so peak memory is one level of pairing state plus the topology.
     for (int lv = 1; lv < levels; ++lv) {
         const int lower_n = fc.switchesAtLevel(lv);
         const int upper_n = fc.switchesAtLevel(lv + 1);
         const int upper_deg = (lv + 1 == levels) ? radix : m;
-        BipartiteGraph bg =
-            randomBipartiteGraph(lower_n, m, upper_n, upper_deg, rng);
         const int lo = fc.levelOffset(lv);
         const int uo = fc.levelOffset(lv + 1);
-        for (int u = 0; u < lower_n; ++u)
-            for (int v : bg.adj1[u])
-                fc.addLink(lo + u, uo + v);
+        randomBipartiteEdges(lower_n, m, upper_n, upper_deg, rng,
+                             [&](int u, int v) {
+                                 fc.addLink(lo + u, uo + v);
+                             });
     }
     return fc;
 }
@@ -63,8 +66,8 @@ buildRfc(int radix, int levels, int n1, Rng &rng, int max_attempts)
     return result;
 }
 
-int
-rfcMaxLeaves(int radix, int levels)
+long long
+rfcMaxLeavesLL(int radix, int levels)
 {
     const double m = radix / 2.0;
     const double target = std::pow(m, 2.0 * (levels - 1));
@@ -79,10 +82,23 @@ rfcMaxLeaves(int radix, int levels)
         else
             hi = mid;
     }
-    int n1 = static_cast<int>(lo);
+    long long n1 = static_cast<long long>(lo);
     if (n1 % 2)
         --n1;
-    return std::max(n1, 2);
+    return std::max(n1, 2LL);
+}
+
+int
+rfcMaxLeaves(int radix, int levels)
+{
+    long long n1 = rfcMaxLeavesLL(radix, levels);
+    // High radix/level combinations (e.g. R=54, l=5 -> N1 ~ 1.2e10)
+    // overflow int; the old double->int cast was undefined behavior.
+    if (n1 > std::numeric_limits<int>::max())
+        throw std::overflow_error(
+            "rfcMaxLeaves: threshold exceeds int range; use "
+            "rfcMaxLeavesLL");
+    return static_cast<int>(n1);
 }
 
 int

@@ -52,8 +52,13 @@ RfcBuildResult buildRfc(int radix, int levels, int n1, Rng &rng,
  * Largest leaf count N1 admitting up/down routing w.h.p. for the given
  * radix and level count, from the paper's simplified threshold
  * (R/2)^(2(l-1)) = N1 ln N1.  The returned N1 is even.
+ * @throws std::overflow_error when the threshold exceeds int range
+ *         (e.g. R=54, l=5); use rfcMaxLeavesLL on the scale path.
  */
 int rfcMaxLeaves(int radix, int levels);
+
+/** 64-bit rfcMaxLeaves for thresholds beyond int range. */
+long long rfcMaxLeavesLL(int radix, int levels);
 
 /**
  * Exact Theorem 4.2 threshold: smallest even radix R such that

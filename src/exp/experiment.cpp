@@ -7,6 +7,7 @@
 #include "analysis/fault_sweep.hpp"
 #include "routing/updown.hpp"
 #include "util/json.hpp"
+#include "util/mem.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 
@@ -189,6 +190,10 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
         // plain points keeps the "recovery" JSON object off them even
         // when their config recorded telemetry bins.
         pr.telemetry_bin = recovery ? spec.config.telemetry_bin : 0;
+        if (spec.topology)
+            pr.topology_bytes = spec.topology->memoryBytes();
+        if (spec.oracle)
+            pr.oracle_bytes = spec.oracle->memoryBytes();
         for (int rep = 0; rep < reps; ++rep) {
             const std::size_t t =
                 p * static_cast<std::size_t>(reps) +
@@ -306,6 +311,12 @@ writePointsJson(std::ostream &os, const std::vector<PointResult> &points,
     w.kv("base_seed", static_cast<std::uint64_t>(base_seed));
     w.kv("repetitions", static_cast<std::int64_t>(repetitions));
     w.kv("wall_seconds", wall_seconds);
+    // Machine/run dependent like the timing fields: the CI determinism
+    // jobs filter peak_rss_bytes by name.
+    w.key("memory");
+    w.beginObject();
+    w.kv("peak_rss_bytes", static_cast<std::int64_t>(peakRssBytes()));
+    w.endObject();
 
     w.key("points");
     w.beginArray();
@@ -347,6 +358,14 @@ writePointsJson(std::ostream &os, const std::vector<PointResult> &points,
             w.endArray();
             w.endObject();
         }
+        // Structure sizes are bit-stable (they depend on the topology
+        // and oracle contents only) and take part in determinism diffs.
+        w.key("memory");
+        w.beginObject();
+        w.kv("topology_bytes",
+             static_cast<std::int64_t>(p.topology_bytes));
+        w.kv("oracle_bytes", static_cast<std::int64_t>(p.oracle_bytes));
+        w.endObject();
         // Engine counters: bit-stable across jobs values (they depend
         // on the simulated physics only), so they belong outside
         // "timing" and take part in determinism diffs.

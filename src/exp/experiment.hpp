@@ -104,6 +104,12 @@ struct PointResult
     double trial_seconds_total = 0.0;  //!< summed per-trial wall clock
     double trial_seconds_max = 0.0;    //!< slowest trial at this point
 
+    // ---- memory budget ------------------------------------------
+    // Measured structure sizes for the point's shared inputs (bit-
+    // stable, unlike peak RSS which is reported once per run).
+    std::int64_t topology_bytes = 0;  //!< FoldedClos::memoryBytes()
+    std::int64_t oracle_bytes = 0;    //!< UpDownOracle::memoryBytes()
+
     /**
      * Engine counters merged over the point's reps (deterministic
      * fields only: scans, conflicts, stalls, forwards, occupancy;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/json.hpp"
+#include "util/mem.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 
@@ -56,6 +57,19 @@ runFlowGrid(const FlowGrid &grid, const ExperimentEngine &engine)
                     ? net.topology->numTerminals()
                     : static_cast<long long>(net.graph->numVertices()) *
                           net.hosts_per_switch;
+            if (net.topology) {
+                r.topology_bytes = net.topology->memoryBytes();
+                r.oracle_bytes = net.oracle->memoryBytes();
+            } else if (net.graph) {
+                // Graph stores each edge once per endpoint (4-byte
+                // ids) plus a vector header per vertex.
+                r.topology_bytes =
+                    static_cast<std::int64_t>(net.graph->numEdges()) * 2 *
+                        4 +
+                    static_cast<std::int64_t>(net.graph->numVertices()) *
+                        static_cast<std::int64_t>(
+                            sizeof(std::vector<int>));
+            }
 
             DemandMatrix dm = makeDemandMatrix(
                 grid.patterns[pi], r.terminals,
@@ -122,6 +136,12 @@ writeFlowGridJson(std::ostream &os, const FlowGrid &grid,
     w.kv("epsilon", grid.solve.epsilon);
     w.kv("max_phases", static_cast<std::int64_t>(grid.solve.max_phases));
     w.kv("wall_seconds", result.wall_seconds);
+    // Machine/run dependent; the CI determinism jobs filter
+    // peak_rss_bytes by name.
+    w.key("memory");
+    w.beginObject();
+    w.kv("peak_rss_bytes", static_cast<std::int64_t>(peakRssBytes()));
+    w.endObject();
 
     w.key("points");
     w.beginArray();
@@ -142,6 +162,12 @@ writeFlowGridJson(std::ostream &os, const FlowGrid &grid,
         w.kv("ecmp_saturation", p.ecmp_saturation);
         w.kv("ecmp_worst", p.ecmp_worst);
         w.kv("ecmp_average", p.ecmp_average);
+        w.key("memory");
+        w.beginObject();
+        w.kv("topology_bytes",
+             static_cast<std::int64_t>(p.topology_bytes));
+        w.kv("oracle_bytes", static_cast<std::int64_t>(p.oracle_bytes));
+        w.endObject();
         w.key("timing");
         w.beginObject();
         w.kv("build_seconds", p.build_seconds);

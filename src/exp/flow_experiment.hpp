@@ -88,6 +88,10 @@ struct FlowPointResult
 
     double build_seconds = 0.0;  //!< paths + problem assembly
     double solve_seconds = 0.0;  //!< concurrent-flow + fluid solves
+
+    // ---- memory budget (bit-stable structure sizes) -------------
+    std::int64_t topology_bytes = 0;  //!< FoldedClos / Graph bytes
+    std::int64_t oracle_bytes = 0;    //!< UpDownOracle bytes (Clos only)
 };
 
 /** Points in grid declaration order (network-major, then pattern). */

@@ -32,13 +32,18 @@ BipartiteGraph::isSimple() const
 
 namespace {
 
-/** One pairing attempt; false means restart (residual infeasible). */
+/**
+ * One pairing attempt; false means restart (residual infeasible).
+ * Only the left adjacency is built: the algorithm's simplicity check
+ * reads adj1 alone, so the right side would be write-only scratch -
+ * dropping it halves the pairing footprint without touching the RNG
+ * draw sequence.
+ */
 bool
-tryPairing(int n1, int d1, int n2, int d2, Rng &rng, BipartiteGraph &bg)
+tryPairing(int n1, int d1, int n2, int d2, Rng &rng,
+           std::vector<std::vector<int>> &adj1)
 {
-    for (auto &a : bg.adj1)
-        a.clear();
-    for (auto &a : bg.adj2)
+    for (auto &a : adj1)
         a.clear();
 
     std::vector<int> pts1(static_cast<std::size_t>(n1) * d1);
@@ -49,7 +54,7 @@ tryPairing(int n1, int d1, int n2, int d2, Rng &rng, BipartiteGraph &bg)
         pts2[i] = static_cast<int>(i);
 
     auto has_edge = [&](int u, int v) {
-        const auto &a = bg.adj1[u];
+        const auto &a = adj1[u];
         return std::find(a.begin(), a.end(), v) != a.end();
     };
     auto commit = [&](std::size_t i, std::size_t j, int u, int v) {
@@ -57,8 +62,7 @@ tryPairing(int n1, int d1, int n2, int d2, Rng &rng, BipartiteGraph &bg)
         std::swap(pts2[j], pts2.back());
         pts1.pop_back();
         pts2.pop_back();
-        bg.adj1[u].push_back(v);
-        bg.adj2[v].push_back(u);
+        adj1[u].push_back(v);
     };
 
     while (!pts1.empty()) {
@@ -96,10 +100,8 @@ tryPairing(int n1, int d1, int n2, int d2, Rng &rng, BipartiteGraph &bg)
     return true;
 }
 
-} // namespace
-
-BipartiteGraph
-randomBipartiteGraph(int n1, int d1, int n2, int d2, Rng &rng)
+void
+validateParams(int n1, int d1, int n2, int d2)
 {
     if (n1 <= 0 || n2 <= 0 || d1 <= 0 || d2 <= 0)
         throw std::invalid_argument("randomBipartiteGraph: sizes/degrees "
@@ -109,16 +111,45 @@ randomBipartiteGraph(int n1, int d1, int n2, int d2, Rng &rng)
     if (d1 > n2 || d2 > n1)
         throw std::invalid_argument("randomBipartiteGraph: degree exceeds "
                                     "opposite part size");
+}
+
+} // namespace
+
+BipartiteGraph
+randomBipartiteGraph(int n1, int d1, int n2, int d2, Rng &rng)
+{
+    validateParams(n1, d1, n2, d2);
 
     BipartiteGraph bg;
     bg.n1 = n1;
     bg.n2 = n2;
     bg.adj1.resize(n1);
-    bg.adj2.resize(n2);
-    while (!tryPairing(n1, d1, n2, d2, rng, bg)) {
+    while (!tryPairing(n1, d1, n2, d2, rng, bg.adj1)) {
         // restart, expected O(1) times
     }
+    // Derive the right side in left-major order.
+    bg.adj2.resize(n2);
+    for (auto &a : bg.adj2)
+        a.reserve(static_cast<std::size_t>(d2));
+    for (int u = 0; u < n1; ++u)
+        for (int v : bg.adj1[u])
+            bg.adj2[v].push_back(u);
     return bg;
+}
+
+void
+randomBipartiteEdges(int n1, int d1, int n2, int d2, Rng &rng,
+                     const std::function<void(int, int)> &sink)
+{
+    validateParams(n1, d1, n2, d2);
+
+    std::vector<std::vector<int>> adj1(static_cast<std::size_t>(n1));
+    while (!tryPairing(n1, d1, n2, d2, rng, adj1)) {
+        // restart, expected O(1) times
+    }
+    for (int u = 0; u < n1; ++u)
+        for (int v : adj1[u])
+            sink(u, v);
 }
 
 } // namespace rfc

@@ -3,11 +3,16 @@
  * Random regular bipartite graph generation (Listing 2 of the paper).
  *
  * A random folded Clos network is assembled from l-1 of these bipartite
- * graphs, one per pair of adjacent switch levels.
+ * graphs, one per pair of adjacent switch levels.  Large builds use the
+ * streaming form, which emits edges into a caller sink and keeps only
+ * the left-side adjacency (needed for the simplicity check) as scratch;
+ * nothing survives the call, so an l-level RFC construction never holds
+ * more than one level's pairing state at a time.
  */
 #ifndef RFC_GRAPH_RANDOM_BIPARTITE_HPP
 #define RFC_GRAPH_RANDOM_BIPARTITE_HPP
 
+#include <functional>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -40,6 +45,16 @@ struct BipartiteGraph
  */
 BipartiteGraph randomBipartiteGraph(int n1, int d1, int n2, int d2,
                                     Rng &rng);
+
+/**
+ * Streaming form of randomBipartiteGraph: same preconditions, same RNG
+ * draw sequence (bit-identical wiring for a given rng state), but the
+ * edges are handed to @p sink as (u, v) pairs in left-major order
+ * instead of being materialized into a BipartiteGraph.  Only the
+ * left-side adjacency lists exist as scratch during the call.
+ */
+void randomBipartiteEdges(int n1, int d1, int n2, int d2, Rng &rng,
+                          const std::function<void(int, int)> &sink);
 
 } // namespace rfc
 

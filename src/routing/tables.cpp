@@ -2,53 +2,153 @@
 
 namespace rfc {
 
+namespace {
+
+/** FNV-1a over the raw bytes of a port list. */
+struct PortSetHash
+{
+    std::size_t
+    operator()(const std::vector<std::uint16_t> &v) const
+    {
+        std::size_t h = 1469598103934665603ULL;
+        for (std::uint16_t p : v) {
+            h ^= p;
+            h *= 1099511628211ULL;
+        }
+        return h;
+    }
+};
+
+} // namespace
+
 ForwardingTables::ForwardingTables(const FoldedClos &fc,
                                    const UpDownOracle &oracle)
-    : leaves_(fc.numLeaves())
+    : leaves_(fc.numLeaves()), switches_(fc.numSwitches())
 {
-    const int switches = fc.numSwitches();
-    entries_.resize(static_cast<std::size_t>(switches) * leaves_);
+    pool_off_.push_back(0);
+    dict_off_.reserve(static_cast<std::size_t>(switches_) + 1);
+    dict_off_.push_back(0);
+    entry_off_.reserve(static_cast<std::size_t>(switches_) + 1);
+    entry_off_.push_back(0);
+    entry_width_.reserve(static_cast<std::size_t>(switches_));
+
+    // Global intern map (freed after construction); duplicates the
+    // pool contents transiently but only for the unique sets.
+    std::unordered_map<std::vector<std::uint16_t>, std::uint32_t,
+                       PortSetHash>
+        pool_map;
+    auto intern = [&](const std::vector<std::uint16_t> &set) {
+        auto it = pool_map.find(set);
+        if (it != pool_map.end())
+            return it->second;
+        const auto gid = static_cast<std::uint32_t>(pool_map.size());
+        pool_map.emplace(set, gid);
+        pool_ports_.insert(pool_ports_.end(), set.begin(), set.end());
+        pool_off_.push_back(static_cast<std::int64_t>(pool_ports_.size()));
+        return gid;
+    };
 
     std::vector<int> choices;
-    for (int sw = 0; sw < switches; ++sw) {
+    std::vector<std::uint16_t> entry;
+    std::vector<std::uint32_t> gids;     // per-dest pool id, one switch
+    std::vector<std::uint32_t> local_ids; // per-dest local id
+    std::vector<std::uint32_t> dict;      // this switch's pool ids
+    std::unordered_map<std::uint32_t, std::uint32_t> local; // gid -> lid
+    for (int sw = 0; sw < switches_; ++sw) {
         const auto n_up = static_cast<int>(fc.up(sw).size());
+        local.clear();
+        dict.clear();
+        gids.assign(static_cast<std::size_t>(leaves_), 0);
+        local_ids.assign(static_cast<std::size_t>(leaves_), 0);
+        std::uint32_t max_gid = 0;
         for (int d = 0; d < leaves_; ++d) {
-            if (sw == d)
-                continue;  // local delivery
-            auto &entry =
-                entries_[static_cast<std::size_t>(sw) * leaves_ + d];
-            int need = oracle.minUps(sw, d);
-            if (need < 0)
-                continue;  // unreachable (faulted network)
-            if (need == 0) {
-                oracle.downChoices(fc, sw, d, choices);
-                for (int idx : choices)
-                    entry.push_back(
-                        static_cast<std::uint16_t>(n_up + idx));
-            } else {
-                oracle.upChoices(fc, sw, d, choices);
-                for (int idx : choices)
-                    entry.push_back(static_cast<std::uint16_t>(idx));
+            entry.clear();
+            if (sw != d) {
+                int need = oracle.minUps(sw, d);
+                if (need == 0) {
+                    oracle.downChoices(fc, sw, d, choices);
+                    for (int idx : choices)
+                        entry.push_back(
+                            static_cast<std::uint16_t>(n_up + idx));
+                } else if (need > 0) {
+                    oracle.upChoices(fc, sw, d, choices);
+                    for (int idx : choices)
+                        entry.push_back(static_cast<std::uint16_t>(idx));
+                }
+                // need < 0: unreachable (faulted network) -> empty.
             }
             if (!entry.empty()) {
                 ++populated_;
                 total_ports_ += static_cast<long long>(entry.size());
             }
+            const std::uint32_t gid = intern(entry);
+            auto lit = local.find(gid);
+            std::uint32_t lid;
+            if (lit == local.end()) {
+                lid = static_cast<std::uint32_t>(local.size());
+                local.emplace(gid, lid);
+                dict.push_back(gid);
+            } else {
+                lid = lit->second;
+            }
+            gids[static_cast<std::size_t>(d)] = gid;
+            local_ids[static_cast<std::size_t>(d)] = lid;
+            max_gid = std::max(max_gid, gid);
         }
+
+        // Pick the cheaper encoding for this switch: a local dictionary
+        // (1/2/4-byte entries + 4 bytes per distinct set) or direct
+        // 24-bit pool ids (width 3, no dictionary).  RFC leaf switches
+        // have a near-distinct set per destination, where the
+        // dictionary costs more than it saves.
+        const std::size_t distinct = local.size();
+        const std::uint8_t dict_width =
+            distinct <= 0x100 ? 1 : (distinct <= 0x10000 ? 2 : 4);
+        const long long dict_cost =
+            static_cast<long long>(leaves_) * dict_width +
+            static_cast<long long>(distinct) * 4;
+        const long long direct_cost = static_cast<long long>(leaves_) * 3;
+        const bool direct =
+            max_gid < (1u << 24) && direct_cost < dict_cost;
+
+        const std::uint8_t width = direct ? 3 : dict_width;
+        const std::vector<std::uint32_t> &values =
+            direct ? gids : local_ids;
+        if (!direct)
+            dict_ids_.insert(dict_ids_.end(), dict.begin(), dict.end());
+        dict_off_.push_back(static_cast<std::int64_t>(dict_ids_.size()));
+
+        entry_width_.push_back(width);
+        const std::int64_t base = entry_off_.back();
+        entry_bytes_.resize(static_cast<std::size_t>(base) +
+                            static_cast<std::size_t>(leaves_) * width);
+        std::uint8_t *out = entry_bytes_.data() + base;
+        for (int d = 0; d < leaves_; ++d, out += width) {
+            const std::uint32_t v = values[static_cast<std::size_t>(d)];
+            if (width == 3) {
+                out[0] = static_cast<std::uint8_t>(v);
+                out[1] = static_cast<std::uint8_t>(v >> 8);
+                out[2] = static_cast<std::uint8_t>(v >> 16);
+            } else {
+                std::memcpy(out, &v, width);
+            }
+        }
+        entry_off_.push_back(base +
+                             static_cast<std::int64_t>(leaves_) * width);
     }
 }
 
 void
 ForwardingTables::setPorts(int sw, int dest_leaf,
-                           std::vector<std::uint16_t> ports)
+                           std::vector<std::uint16_t> new_ports)
 {
-    auto &entry =
-        entries_[static_cast<std::size_t>(sw) * leaves_ + dest_leaf];
-    if (!entry.empty()) {
+    const auto old = ports(sw, dest_leaf);
+    if (!old.empty()) {
         --populated_;
-        total_ports_ -= static_cast<long long>(entry.size());
+        total_ports_ -= static_cast<long long>(old.size());
     }
-    entry = std::move(ports);
+    auto &entry = overrides_[entryKey(sw, dest_leaf)];
+    entry = std::move(new_ports);
     if (!entry.empty()) {
         ++populated_;
         total_ports_ += static_cast<long long>(entry.size());
@@ -58,8 +158,28 @@ ForwardingTables::setPorts(int sw, int dest_leaf,
 long long
 ForwardingTables::memoryBytes() const
 {
-    return total_ports_ * 2 +
-           static_cast<long long>(entries_.size()) * 4;
+    auto bytes = [](const auto &v) {
+        return static_cast<long long>(v.size() * sizeof(v[0]));
+    };
+    long long total = bytes(pool_ports_) + bytes(pool_off_) +
+                      bytes(dict_ids_) + bytes(dict_off_) +
+                      bytes(entry_bytes_) + bytes(entry_off_) +
+                      bytes(entry_width_);
+    for (const auto &[key, entry] : overrides_) {
+        (void)key;
+        total += static_cast<long long>(sizeof(key)) + bytes(entry);
+    }
+    return total;
+}
+
+double
+ForwardingTables::compressionRatio() const
+{
+    const long long compressed = memoryBytes();
+    if (compressed <= 0)
+        return 0.0;
+    return static_cast<double>(denseMemoryBytes()) /
+           static_cast<double>(compressed);
 }
 
 } // namespace rfc

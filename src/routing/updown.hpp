@@ -144,6 +144,23 @@ class UpDownOracle
 
     int numLeaves() const { return num_leaves_; }
 
+    /**
+     * Measured bytes held by the reachability tables: levels x switches
+     * bitsets of numLeaves bits each, plus the bitset headers.
+     */
+    std::int64_t
+    memoryBytes() const
+    {
+        if (reach_.empty() || reach_[0].empty())
+            return 0;
+        const std::int64_t words =
+            (static_cast<std::int64_t>(num_leaves_) + 63) / 64;
+        const std::int64_t per =
+            words * 8 + static_cast<std::int64_t>(sizeof(DynBitset));
+        return static_cast<std::int64_t>(reach_.size()) *
+               static_cast<std::int64_t>(reach_[0].size()) * per;
+    }
+
   private:
     bool upAlive(int s, std::size_t i) const
     {

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Representation-equivalence tests for the million-terminal scale tier
+ * (tier 1).
+ *
+ * The CSR FoldedClos core and the hash-consed compressed
+ * ForwardingTables replaced vector-of-vector representations whose
+ * semantics (construction order, swap-remove mutation, per-entry port
+ * order) other layers observe.  These tests pin the new
+ * representations to executable replicas of the legacy ones over
+ * randomized small RFCs (check/prop forAll), plus the scale-boundary
+ * overflow guards that make the 1M-terminal operating point reachable:
+ *
+ *  - CSR adjacency == legacy per-level randomBipartiteGraph assembly
+ *    (same wiring seed, element order included);
+ *  - addLink/removeLink == push_back / swap-remove shadow model under
+ *    random mutation sequences;
+ *  - compressed ports(sw, dest) == a dense vector-of-vector rebuild
+ *    from the same oracle, element order included, with consistent
+ *    populated/total counters and a real compression win;
+ *  - setPorts is copy-on-write: pre-mutation views stay valid and the
+ *    shared pool is untouched for every other entry;
+ *  - int-overflow guards at the sizes where the legacy code wrapped
+ *    (rfcMaxLeaves at R=54 l=5, buildOft3 at q ~ 1290, dense-bytes
+ *    formula at 1M-terminal parameters).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "analysis/scalability.hpp"
+#include "check/prop.hpp"
+#include "clos/fat_tree.hpp"
+#include "clos/oft.hpp"
+#include "clos/projective.hpp"
+#include "clos/rfc.hpp"
+#include "graph/random_bipartite.hpp"
+#include "routing/tables.hpp"
+#include "routing/updown.hpp"
+
+namespace rfc {
+namespace {
+
+const std::function<TopoParams(Rng &, int)> kGenTopo = genTopoParams;
+const std::function<std::vector<TopoParams>(const TopoParams &)>
+    kShrinkTopo = shrinkTopoParams;
+const std::function<std::string(const TopoParams &)> kDescribeTopo =
+    describeTopoParams;
+
+/** Legacy-style adjacency model: per-switch heap vectors. */
+struct ShadowAdj
+{
+    std::vector<std::vector<int>> up, down;
+
+    explicit ShadowAdj(int num_switches)
+        : up(static_cast<std::size_t>(num_switches)),
+          down(static_cast<std::size_t>(num_switches))
+    {
+    }
+
+    void
+    add(int lower, int upper)
+    {
+        up[static_cast<std::size_t>(lower)].push_back(upper);
+        down[static_cast<std::size_t>(upper)].push_back(lower);
+    }
+
+    /** The legacy swap-remove of one link occurrence. */
+    bool
+    remove(int lower, int upper)
+    {
+        auto &u = up[static_cast<std::size_t>(lower)];
+        auto it = std::find(u.begin(), u.end(), upper);
+        if (it == u.end())
+            return false;
+        *it = u.back();
+        u.pop_back();
+        auto &d = down[static_cast<std::size_t>(upper)];
+        auto dit = std::find(d.begin(), d.end(), lower);
+        *dit = d.back();
+        d.pop_back();
+        return true;
+    }
+};
+
+/** Element-order-sensitive comparison of a CSR topology vs a shadow. */
+CheckResult
+compareAdjacency(const FoldedClos &fc, const ShadowAdj &shadow)
+{
+    for (int s = 0; s < fc.numSwitches(); ++s) {
+        const auto us = fc.up(s);
+        const auto &su = shadow.up[static_cast<std::size_t>(s)];
+        if (!std::equal(us.begin(), us.end(), su.begin(), su.end()))
+            return CheckResult::fail("up(" + std::to_string(s) +
+                                     ") diverges from legacy model");
+        const auto ds = fc.down(s);
+        const auto &sd = shadow.down[static_cast<std::size_t>(s)];
+        if (!std::equal(ds.begin(), ds.end(), sd.begin(), sd.end()))
+            return CheckResult::fail("down(" + std::to_string(s) +
+                                     ") diverges from legacy model");
+    }
+    return CheckResult::pass();
+}
+
+TEST(ReprEquivalence, CsrMatchesLegacyLevelAssemblyOnRandomRfcs)
+{
+    // Replay the generator against the pre-CSR construction: one
+    // randomBipartiteGraph (vector-of-vector) per level pair, links
+    // pushed left-major.  Same wiring seed must give byte-identical
+    // adjacency in identical element order.
+    PropConfig cfg;
+    cfg.cases = 50;
+    cfg.seed = 601;
+    cfg.max_size = 45;
+    auto res = forAll<TopoParams>(
+        cfg, kGenTopo,
+        [](const TopoParams &p) {
+            FoldedClos fc = materializeTopo(p);
+            ShadowAdj shadow(fc.numSwitches());
+            Rng rng(p.wiring_seed);
+            const int m = p.radix / 2;
+            for (int lv = 1; lv < p.levels; ++lv) {
+                const int lower_n = fc.switchesAtLevel(lv);
+                const int upper_n = fc.switchesAtLevel(lv + 1);
+                const int upper_deg = (lv + 1 == p.levels) ? p.radix : m;
+                const int lo = fc.levelOffset(lv);
+                const int uo = fc.levelOffset(lv + 1);
+                BipartiteGraph bg = randomBipartiteGraph(
+                    lower_n, m, upper_n, upper_deg, rng);
+                for (int u = 0; u < lower_n; ++u)
+                    for (int v : bg.adj1[static_cast<std::size_t>(u)])
+                        shadow.add(lo + u, uo + v);
+            }
+            return compareAdjacency(fc, shadow);
+        },
+        kShrinkTopo, kDescribeTopo);
+    EXPECT_TRUE(res.passed) << res.report();
+    EXPECT_EQ(res.cases_run, 50);
+}
+
+TEST(ReprEquivalence, MutationsMatchSwapRemoveShadowModel)
+{
+    // Random interleavings of removeLink (uniform existing wire) and
+    // addLink (possibly re-adding, possibly duplicating) against the
+    // push_back / swap-remove shadow.  CSR in-segment order must track
+    // the legacy vectors exactly, including duplicate multiplicity.
+    PropConfig cfg;
+    cfg.cases = 40;
+    cfg.seed = 602;
+    cfg.max_size = 35;
+    auto res = forAll<TopoParams>(
+        cfg, kGenTopo,
+        [](const TopoParams &p) {
+            FoldedClos fc = materializeTopo(p);
+            ShadowAdj shadow(fc.numSwitches());
+            for (int s = 0; s < fc.numSwitches(); ++s) {
+                const auto us = fc.up(s);
+                for (std::size_t i = 0; i < us.size(); ++i)
+                    shadow.up[static_cast<std::size_t>(s)].push_back(
+                        us[i]);
+                const auto ds = fc.down(s);
+                for (std::size_t i = 0; i < ds.size(); ++i)
+                    shadow.down[static_cast<std::size_t>(s)].push_back(
+                        ds[i]);
+            }
+
+            Rng rng(deriveSeed(p.wiring_seed, 0x6d7574ULL, 0));
+            const int ops = 2 * p.n1 + 8;
+            std::vector<std::pair<int, int>> removed;
+            for (int op = 0; op < ops; ++op) {
+                const bool do_remove =
+                    removed.empty() || rng.uniform(3) != 0;
+                if (do_remove) {
+                    // Pick a random present wire via a random non-empty
+                    // up segment.
+                    int s = static_cast<int>(
+                        rng.uniform(static_cast<std::uint64_t>(
+                            fc.numSwitches())));
+                    const auto us = fc.up(s);
+                    if (us.empty())
+                        continue;
+                    int upper = us[static_cast<std::size_t>(rng.uniform(
+                        static_cast<std::uint64_t>(us.size())))];
+                    const bool a = fc.removeLink(s, upper);
+                    const bool b = shadow.remove(s, upper);
+                    if (a != b)
+                        return CheckResult::fail(
+                            "removeLink divergence at switch " +
+                            std::to_string(s));
+                    removed.push_back({s, upper});
+                } else {
+                    const std::size_t pick = static_cast<std::size_t>(
+                        rng.uniform(static_cast<std::uint64_t>(
+                            removed.size())));
+                    const auto [lo, hi] = removed[pick];
+                    fc.addLink(lo, hi);
+                    shadow.add(lo, hi);
+                }
+                // Occasionally duplicate an existing wire: parallel
+                // links are legal in folded Clos wirings and exercise
+                // multiplicity handling.
+                if (op % 7 == 3) {
+                    int s = static_cast<int>(
+                        rng.uniform(static_cast<std::uint64_t>(
+                            fc.numSwitches())));
+                    const auto us = fc.up(s);
+                    if (!us.empty()) {
+                        int upper = us[0];
+                        fc.addLink(s, upper);
+                        shadow.add(s, upper);
+                        if (fc.countLink(s, upper) < 2)
+                            return CheckResult::fail(
+                                "countLink missed duplicate");
+                    }
+                }
+            }
+            return compareAdjacency(fc, shadow);
+        },
+        kShrinkTopo, kDescribeTopo);
+    EXPECT_TRUE(res.passed) << res.report();
+}
+
+/** Dense vector-of-vector rebuild of the tables from the same oracle. */
+std::vector<std::vector<std::uint16_t>>
+denseReference(const FoldedClos &fc, const UpDownOracle &oracle)
+{
+    const int leaves = fc.numLeaves();
+    std::vector<std::vector<std::uint16_t>> dense(
+        static_cast<std::size_t>(fc.numSwitches()) *
+        static_cast<std::size_t>(leaves));
+    std::vector<int> choices;
+    for (int sw = 0; sw < fc.numSwitches(); ++sw) {
+        const auto n_up = static_cast<int>(fc.up(sw).size());
+        for (int d = 0; d < leaves; ++d) {
+            if (sw == d)
+                continue;
+            auto &entry =
+                dense[static_cast<std::size_t>(sw) *
+                          static_cast<std::size_t>(leaves) +
+                      static_cast<std::size_t>(d)];
+            const int need = oracle.minUps(sw, d);
+            if (need == 0) {
+                oracle.downChoices(fc, sw, d, choices);
+                for (int idx : choices)
+                    entry.push_back(
+                        static_cast<std::uint16_t>(n_up + idx));
+            } else if (need > 0) {
+                oracle.upChoices(fc, sw, d, choices);
+                for (int idx : choices)
+                    entry.push_back(static_cast<std::uint16_t>(idx));
+            }
+        }
+    }
+    return dense;
+}
+
+TEST(ReprEquivalence, CompressedTablesMatchDenseReference)
+{
+    PropConfig cfg;
+    cfg.cases = 30;
+    cfg.seed = 603;
+    cfg.max_size = 40;
+    auto res = forAll<TopoParams>(
+        cfg, kGenTopo,
+        [](const TopoParams &p) {
+            FoldedClos fc = materializeTopo(p);
+            UpDownOracle oracle(fc);
+            ForwardingTables tables(fc, oracle);
+            auto dense = denseReference(fc, oracle);
+
+            long long populated = 0, total_ports = 0;
+            const int leaves = fc.numLeaves();
+            for (int sw = 0; sw < fc.numSwitches(); ++sw) {
+                for (int d = 0; d < leaves; ++d) {
+                    const auto &want =
+                        dense[static_cast<std::size_t>(sw) *
+                                  static_cast<std::size_t>(leaves) +
+                              static_cast<std::size_t>(d)];
+                    const auto got = tables.ports(sw, d);
+                    if (!std::equal(got.begin(), got.end(),
+                                    want.begin(), want.end()))
+                        return CheckResult::fail(
+                            "ports(" + std::to_string(sw) + ", " +
+                            std::to_string(d) +
+                            ") diverges from dense reference");
+                    if (!want.empty()) {
+                        ++populated;
+                        total_ports +=
+                            static_cast<long long>(want.size());
+                    }
+                }
+            }
+            if (tables.populatedEntries() != populated)
+                return CheckResult::fail("populatedEntries mismatch");
+            if (tables.totalPorts() != total_ports)
+                return CheckResult::fail("totalPorts mismatch");
+            if (tables.memoryBytes() <= 0)
+                return CheckResult::fail("memoryBytes not positive");
+            if (tables.uniqueSets() < 1)
+                return CheckResult::fail("pool has no sets");
+            return CheckResult::pass();
+        },
+        kShrinkTopo, kDescribeTopo);
+    EXPECT_TRUE(res.passed) << res.report();
+    EXPECT_EQ(res.cases_run, 30);
+}
+
+TEST(ReprEquivalence, CompressionWinsOnFigTenShapedCft)
+{
+    // Scaled-down proxy of the Figure 10 table configuration (the full
+    // R=36 point runs in bench/fig_perf_1M): a 4-level CFT, where most
+    // destinations at a switch share one ECMP set.  The >= 5x bound is
+    // the acceptance criterion the compressed layout is held to.
+    FoldedClos cft = buildCft(12, 4);
+    UpDownOracle oracle(cft);
+    ForwardingTables tables(cft, oracle);
+    EXPECT_GE(tables.compressionRatio(), 5.0);
+    EXPECT_LT(tables.memoryBytes(), tables.denseMemoryBytes());
+    EXPECT_GT(tables.uniqueSets(), 0);
+}
+
+TEST(ReprEquivalence, SetPortsIsCopyOnWrite)
+{
+    Rng rng(7);
+    auto built = buildRfc(8, 2, 12, rng, 200);
+    ASSERT_TRUE(built.routable);
+    const FoldedClos &fc = built.topology;
+    UpDownOracle oracle(fc);
+    ForwardingTables tables(fc, oracle);
+
+    // A view taken before the mutation must stay valid and unchanged:
+    // the override redirects one entry, it does not touch the pool.
+    const auto before = tables.ports(0, 1);
+    std::vector<std::uint16_t> before_copy(before.begin(), before.end());
+    ASSERT_FALSE(before_copy.empty());
+
+    const long long populated = tables.populatedEntries();
+    const long long total = tables.totalPorts();
+
+    // Another entry that shares no override: must be unaffected.
+    const auto other_copy = [&] {
+        const auto v = tables.ports(1, 0);
+        return std::vector<std::uint16_t>(v.begin(), v.end());
+    }();
+
+    tables.setPorts(0, 1, {before_copy[0]});
+    EXPECT_TRUE(std::equal(before.begin(), before.end(),
+                           before_copy.begin(), before_copy.end()))
+        << "pre-mutation view was clobbered (not copy-on-write)";
+    const auto after = tables.ports(0, 1);
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0], before_copy[0]);
+    EXPECT_EQ(tables.populatedEntries(), populated);
+    EXPECT_EQ(tables.totalPorts(),
+              total -
+                  static_cast<long long>(before_copy.size()) + 1);
+
+    const auto other_now = tables.ports(1, 0);
+    EXPECT_TRUE(std::equal(other_now.begin(), other_now.end(),
+                           other_copy.begin(), other_copy.end()));
+
+    // Overriding to empty depopulates the entry; overriding the same
+    // entry twice keeps the counters consistent.
+    tables.setPorts(0, 1, {});
+    EXPECT_TRUE(tables.ports(0, 1).empty());
+    EXPECT_EQ(tables.populatedEntries(), populated - 1);
+    EXPECT_EQ(tables.totalPorts(),
+              total - static_cast<long long>(before_copy.size()));
+    tables.setPorts(0, 1, before_copy);
+    EXPECT_EQ(tables.populatedEntries(), populated);
+    EXPECT_EQ(tables.totalPorts(), total);
+}
+
+TEST(ReprEquivalence, OverflowGuardsAtScaleBoundaries)
+{
+    // R=54 l=5: the Theorem 4.2 threshold is ~1.24e10 leaves.  The
+    // legacy double->int cast was undefined behavior here.
+    EXPECT_GT(rfcMaxLeavesLL(54, 5),
+              static_cast<long long>(
+                  std::numeric_limits<int>::max()));
+    EXPECT_THROW(rfcMaxLeaves(54, 5), std::overflow_error);
+    // In-range combinations agree between the two entry points.
+    EXPECT_EQ(static_cast<long long>(rfcMaxLeaves(36, 3)),
+              rfcMaxLeavesLL(36, 3));
+
+    // The levels-for search probes exactly the overflowing regime and
+    // must terminate with 64-bit terminal counts.
+    EXPECT_GT(rfcMaxTerminals(54, 5), 300000000000LL);
+    const int l = rfcLevelsFor(1000000000000LL, 54);
+    EXPECT_GE(l, 4);
+    EXPECT_GE(rfcMaxTerminals(54, l), 1000000000000LL);
+
+    // buildOft3 level sizes wrap int at q ~ 1290; the guard must throw
+    // instead of constructing a corrupted topology.
+    EXPECT_THROW(buildOft(191, 3), std::invalid_argument);
+
+    // Dense-table formula at the 1M-terminal operating point: the
+    // 32-bit product switches*leaves*4 wrapped; 64-bit stays sane.
+    const long long sw = 137781, leaves = 39366;
+    EXPECT_GT(ForwardingTables::denseBytesFor(sw, leaves, sw * 8), 0);
+    EXPECT_GT(ForwardingTables::denseBytesFor(sw, leaves, sw * 8),
+              sw * leaves * 4);
+}
+
+} // namespace
+} // namespace rfc

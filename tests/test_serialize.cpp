@@ -27,8 +27,8 @@ expectSameTopology(const FoldedClos &a, const FoldedClos &b)
     EXPECT_EQ(a.terminalsPerLeaf(), b.terminalsPerLeaf());
     EXPECT_EQ(a.name(), b.name());
     for (int s = 0; s < a.numSwitches(); ++s) {
-        auto ua = a.up(s);
-        auto ub = b.up(s);
+        std::vector<int> ua(a.up(s).begin(), a.up(s).end());
+        std::vector<int> ub(b.up(s).begin(), b.up(s).end());
         std::sort(ua.begin(), ua.end());
         std::sort(ub.begin(), ub.end());
         EXPECT_EQ(ua, ub) << "switch " << s;

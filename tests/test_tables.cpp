@@ -79,7 +79,7 @@ TEST(ForwardingTables, FaultedPairsHaveEmptyEntries)
     auto built = buildRfc(8, 2, 12, rng);
     auto fc = built.topology;
     // Disconnect leaf 0 from the network.
-    auto ups = fc.up(0);
+    std::vector<int> ups(fc.up(0).begin(), fc.up(0).end());
     for (int p : ups)
         fc.removeLink(0, p);
     UpDownOracle oracle(fc);

@@ -324,7 +324,7 @@ TEST(UpDownOracle, UnroutableDestinationReportsMinusOne)
     Rng rng(47);
     auto built = buildRfc(8, 2, 12, rng);
     auto fc = built.topology;
-    auto ups = fc.up(0);
+    std::vector<int> ups(fc.up(0).begin(), fc.up(0).end());
     for (int p : ups)
         fc.removeLink(0, p);
     UpDownOracle oracle(fc);
