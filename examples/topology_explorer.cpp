@@ -104,6 +104,53 @@ main(int argc, char **argv)
         f.print(std::cout);
     }
 
+    // Queue-model latency curves: the analytic contention tier turns
+    // the flow ranking above into latency-vs-load numbers (mean and
+    // p99) without a packet simulation.  "-" marks loads past the
+    // topology's fluid saturation.
+    {
+        QueueGrid grid;
+        std::vector<UpDownOracle> oracles;
+        oracles.reserve(nets.size());
+        for (const auto &net : nets)
+            oracles.emplace_back(net);
+        for (std::size_t i = 0; i < nets.size(); ++i)
+            grid.addClos(nets[i].name(), nets[i], oracles[i]);
+        grid.patterns = {"uniform"};
+        grid.loads = {0.2, 0.5, 0.8};
+        grid.max_paths =
+            static_cast<int>(opts.getInt("max-paths", 16));
+        grid.uniform_samples =
+            static_cast<int>(opts.getInt("samples", 4));
+        ExperimentEngine engine(
+            opts.jobs(), static_cast<std::uint64_t>(opts.getInt("seed",
+                                                                2)));
+        QueueGridResult curves = runQueueGrid(grid, engine);
+
+        std::cout << "\nqueue model (M/D/1 per port), latency in "
+                     "cycles at 16-phit packets:\n";
+        TablePrinter c({"topology", "saturation", "zero-load",
+                        "mean@0.2", "p99@0.2", "mean@0.5", "p99@0.5",
+                        "mean@0.8", "p99@0.8"});
+        for (const auto &p : curves.points) {
+            std::vector<std::string> row = {
+                p.network, TablePrinter::fmt(p.saturation, 3),
+                TablePrinter::fmt(p.zero_load_latency, 1)};
+            for (const auto &pt : p.curve) {
+                row.push_back(pt.saturated
+                                  ? "-"
+                                  : TablePrinter::fmt(pt.mean_latency,
+                                                      1));
+                row.push_back(pt.saturated
+                                  ? "-"
+                                  : TablePrinter::fmt(pt.p99_latency,
+                                                      1));
+            }
+            c.addRow(row);
+        }
+        c.print(std::cout);
+    }
+
     // Memory budget: what each representation costs to hold, and what
     // the compressed forwarding tables save over dense per-entry
     // storage (the deployable-artifact cost of "simple ECMP routing").

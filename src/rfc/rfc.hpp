@@ -35,6 +35,7 @@
 #include "clos/serialize.hpp"
 #include "exp/experiment.hpp"
 #include "exp/flow_experiment.hpp"
+#include "exp/queue_experiment.hpp"
 #include "flow/demand.hpp"
 #include "flow/paths.hpp"
 #include "flow/solver.hpp"

@@ -23,9 +23,12 @@ SimConfig::validate() const
         throw std::invalid_argument(
             "SimConfig: measurement window is empty (measure must be "
             ">= 1; check that warmup < total cycles)");
-    if (!(load >= 0.0 && load <= 1.0))
+    // Exactly 0 is rejected too: the Bernoulli generation-gap sampler
+    // divides by log(1 - load/pkt_phits) and a zero-load run measures
+    // quantiles of an empty latency histogram.
+    if (!(load > 0.0 && load <= 1.0))
         throw std::invalid_argument(
-            "SimConfig: load must be within [0, 1], got " +
+            "SimConfig: load must be within (0, 1], got " +
             std::to_string(load));
     if (source_queue < 1)
         throw std::invalid_argument("SimConfig: source_queue must be >= 1");

@@ -1,5 +1,7 @@
 #include "sim/sweep.hpp"
 
+#include <stdexcept>
+
 namespace rfc {
 
 namespace {
@@ -108,6 +110,10 @@ saturationThroughput(const FoldedClos &fc, const UpDownOracle &oracle,
 std::vector<double>
 loadRange(double lo, double hi, int points)
 {
+    if (!(lo > 0.0 && lo <= hi && hi <= 1.0))
+        throw std::invalid_argument(
+            "loadRange: need 0 < lo <= hi <= 1 (SimConfig rejects "
+            "zero offered load)");
     std::vector<double> out;
     if (points <= 1) {
         out.push_back(hi);

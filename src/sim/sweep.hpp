@@ -72,7 +72,11 @@ SimResult saturationThroughput(const FoldedClos &fc,
                                SimConfig base, int repetitions,
                                int jobs);
 
-/** Evenly spaced loads in [lo, hi] with @p points entries. */
+/**
+ * Evenly spaced loads in [lo, hi] with @p points entries.  Throws
+ * std::invalid_argument unless 0 < lo <= hi <= 1: a load of exactly 0
+ * is not simulable (SimConfig::validate rejects it).
+ */
 std::vector<double> loadRange(double lo, double hi, int points);
 
 } // namespace rfc

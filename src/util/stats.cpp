@@ -141,6 +141,191 @@ binnedQuantile(const std::vector<long long> &counts,
 }
 
 double
+weightedQuantile(std::vector<std::pair<double, double>> samples,
+                 double q)
+{
+    if (!(q >= 0.0 && q <= 1.0))
+        throw std::invalid_argument("weightedQuantile: q outside [0, 1]");
+    double total = 0.0;
+    std::size_t out = 0;
+    for (const auto &s : samples) {
+        if (s.second < 0.0)
+            throw std::invalid_argument(
+                "weightedQuantile: negative weight");
+        if (s.second == 0.0)
+            continue;
+        total += s.second;
+        samples[out++] = s;
+    }
+    samples.resize(out);
+    if (samples.empty() || total <= 0.0)
+        throw std::invalid_argument(
+            "weightedQuantile: empty sample set");
+    std::sort(samples.begin(), samples.end());
+
+    // Midpoint (Hazen) positions of each sample's mass, walked in
+    // sorted order; interpolate between the two straddling midpoints.
+    double seen = 0.0;
+    double prev_pos = 0.0;
+    double prev_val = samples.front().first;
+    bool have_prev = false;
+    for (const auto &s : samples) {
+        double pos = (seen + s.second / 2.0) / total;
+        if (q <= pos) {
+            if (!have_prev || pos == prev_pos)
+                return s.first;
+            double frac = (q - prev_pos) / (pos - prev_pos);
+            return prev_val + frac * (s.first - prev_val);
+        }
+        seen += s.second;
+        prev_pos = pos;
+        prev_val = s.first;
+        have_prev = true;
+    }
+    return samples.back().first;
+}
+
+namespace {
+
+/** Standard normal CDF. */
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+/**
+ * CDF of one mixture component at @p x.  Degenerate components
+ * (mean <= 0 or variance <= 0) are point masses; proper components
+ * use Wilson-Hilferty on the moment-matched gamma.
+ */
+double
+componentCdf(const ShiftedGamma &c, double x)
+{
+    if (c.mean <= 0.0 || c.variance <= 0.0) {
+        double at = c.shift + (c.mean > 0.0 ? c.mean : 0.0);
+        return x >= at ? 1.0 : 0.0;
+    }
+    double t = x - c.shift;
+    if (t <= 0.0)
+        return 0.0;
+    // Gamma(k, theta) with k theta = mean: (X / mean)^(1/3) is
+    // approximately Normal(1 - h, h) with h = 1 / (9 k).
+    double k = c.mean * c.mean / c.variance;
+    double h = 1.0 / (9.0 * k);
+    double z = (std::cbrt(t / c.mean) - (1.0 - h)) / std::sqrt(h);
+    return normalCdf(z);
+}
+
+double
+checkMixture(const std::vector<ShiftedGamma> &mix)
+{
+    if (mix.empty())
+        throw std::invalid_argument(
+            "shiftedGammaMixture: empty mixture");
+    double total = 0.0;
+    for (const auto &c : mix) {
+        if (!(c.weight > 0.0) || !std::isfinite(c.weight) ||
+            !std::isfinite(c.shift) || !std::isfinite(c.mean) ||
+            !std::isfinite(c.variance))
+            throw std::invalid_argument(
+                "shiftedGammaMixture: bad component");
+        total += c.weight;
+    }
+    return total;
+}
+
+} // namespace
+
+double
+shiftedGammaMixtureCdf(const std::vector<ShiftedGamma> &mix, double x)
+{
+    double total = checkMixture(mix);
+    double sum = 0.0;
+    for (const auto &c : mix)
+        sum += c.weight * componentCdf(c, x);
+    return sum / total;
+}
+
+double
+shiftedGammaMixtureQuantile(const std::vector<ShiftedGamma> &mix,
+                            double q)
+{
+    double total = checkMixture(mix);
+    if (!(q >= 0.0 && q <= 1.0))
+        throw std::invalid_argument(
+            "shiftedGammaMixtureQuantile: q outside [0, 1]");
+
+    // Hoist the per-component Wilson-Hilferty constants out of the
+    // bisection loop: the inner CDF evaluation runs ~50 times over
+    // every component and dominates large-mixture sweeps.
+    struct Prepared
+    {
+        bool point;
+        double shift, at, inv_mean, omh, inv_sqrt_h, weight;
+    };
+    std::vector<Prepared> prep;
+    prep.reserve(mix.size());
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const auto &c : mix) {
+        Prepared p;
+        p.point = c.mean <= 0.0 || c.variance <= 0.0;
+        p.shift = c.shift;
+        p.at = c.shift + (c.mean > 0.0 ? c.mean : 0.0);
+        p.weight = c.weight;
+        if (!p.point) {
+            double k = c.mean * c.mean / c.variance;
+            double h = 1.0 / (9.0 * k);
+            p.inv_mean = 1.0 / c.mean;
+            p.omh = 1.0 - h;
+            p.inv_sqrt_h = 1.0 / std::sqrt(h);
+        } else {
+            p.inv_mean = p.omh = p.inv_sqrt_h = 0.0;
+        }
+        lo = std::min(lo, p.point ? p.at : p.shift);
+        hi = std::max(hi, p.at + (p.point ? 0.0
+                                          : 12.0 * std::sqrt(
+                                                       c.variance)));
+        prep.push_back(p);
+    }
+    if (q == 0.0 || hi <= lo)
+        return lo;
+
+    auto cdf = [&](double x) {
+        double sum = 0.0;
+        for (const auto &p : prep) {
+            if (p.point) {
+                sum += x >= p.at ? p.weight : 0.0;
+                continue;
+            }
+            double t = x - p.shift;
+            if (t <= 0.0)
+                continue;
+            double z =
+                (std::cbrt(t * p.inv_mean) - p.omh) * p.inv_sqrt_h;
+            sum += p.weight * normalCdf(z);
+        }
+        return sum / total;
+    };
+    // Expand the bracket until it contains the quantile (gamma tails
+    // reach CDF = 1 in floating point once erfc underflows).
+    double width = hi - lo;
+    for (int i = 0; i < 200 && cdf(hi) < q; ++i)
+        hi += width;
+    for (int it = 0;
+         it < 200 && hi - lo > 1e-9 * std::max(1.0, std::abs(hi));
+         ++it) {
+        double mid = 0.5 * (lo + hi);
+        if (cdf(mid) >= q)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
 chiSquareStat(const std::vector<long long> &observed,
               const std::vector<double> &expected)
 {

@@ -6,6 +6,7 @@
 #define RFC_UTIL_STATS_HPP
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace rfc {
@@ -77,6 +78,64 @@ std::vector<double> quantiles(std::vector<double> samples,
  */
 double binnedQuantile(const std::vector<long long> &counts,
                       const std::vector<double> &edges, double q);
+
+/**
+ * Quantile of weighted samples: each (value, weight) pair contributes
+ * weight > 0 units of probability mass.  The empirical CDF places each
+ * sample's mass at its midpoint (the Hazen convention, which reduces
+ * binnedQuantile's evenly-spread rule to a single point per sample)
+ * and the quantile interpolates linearly between consecutive
+ * midpoints, clamping to the extreme values outside them.  For equal
+ * weights this is the Hazen variant of the type-7 estimator used
+ * elsewhere in this header.  Zero-weight samples are ignored.  Throws
+ * std::invalid_argument on an empty/all-zero-weight sample set, a
+ * negative weight, or q outside [0, 1].  Used by the queue-model
+ * engine for path-latency distributions, where each candidate path
+ * carries its ECMP flow share as weight.
+ */
+double weightedQuantile(std::vector<std::pair<double, double>> samples,
+                        double q);
+
+/**
+ * One component of a shifted-gamma mixture: a deterministic @p shift
+ * plus a gamma-distributed excess matched to (@p mean, @p variance)
+ * by moments, carrying @p weight > 0 units of mixture mass.  A
+ * component with mean <= 0 or variance <= 0 degenerates to a point
+ * mass at shift + max(mean, 0).  This is the queue-model engine's
+ * representation of one path's end-to-end latency: shift = zero-load
+ * latency, mean/variance = summed per-hop waiting moments (gamma
+ * chosen because waiting-time sums are nonnegative and right-skewed).
+ */
+struct ShiftedGamma
+{
+    double shift = 0.0;
+    double mean = 0.0;
+    double variance = 0.0;
+    double weight = 0.0;
+};
+
+/**
+ * CDF of a shifted-gamma mixture at @p x (weights normalized to the
+ * mixture total).  Gamma CDFs are evaluated with the Wilson-Hilferty
+ * cube-root normal approximation (the same machinery as
+ * chiSquareCritical; relative error a few percent for shape < 1,
+ * well inside the queue model's own accuracy).  Throws
+ * std::invalid_argument on an empty mixture, a weight <= 0, or a
+ * non-finite field.
+ */
+double shiftedGammaMixtureCdf(const std::vector<ShiftedGamma> &mix,
+                              double x);
+
+/**
+ * Inverse of shiftedGammaMixtureCdf by bracketed bisection: the
+ * smallest x with CDF(x) >= q, to ~1e-9 relative precision.
+ * Deterministic (pure function of the component list), so results are
+ * bit-identical for a bitwise-identical mixture regardless of how it
+ * was computed.  Throws like shiftedGammaMixtureCdf, plus on q
+ * outside [0, 1].
+ */
+double shiftedGammaMixtureQuantile(const std::vector<ShiftedGamma> &mix,
+                                   double q);
 
 /**
  * Pearson chi-square statistic sum((O_i - E_i)^2 / E_i) for observed

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Cross-validation of the queue-model latency engine against the VCT
+ * packet simulator, on the Figure 8 configuration (CFT(8,3), exact
+ * uniform demand) plus an RFC spot check.
+ *
+ * Methodology (documented in EXPERIMENTS.md): both engines see the
+ * same traffic - the queue tier routes the exact uniform demand matrix
+ * over exhaustive up/down ECMP paths, the simulator draws uniform
+ * destinations - so their latency curves must agree up to the model's
+ * assumptions (Poisson arrivals, Kleinrock independence, no flow
+ * control or finite buffers).  Measured queue/VCT ratios at the
+ * validation config (warmup 1000, measure 5000, seed 21):
+ *
+ *     load          0.1    0.3    0.5    0.7
+ *     mean ratio    1.07   1.15   1.12   0.87
+ *     p99 ratio     ~0.8   ~0.7   ~0.6   ~0.55
+ *
+ * The mean tracks within ~15% at low-to-mid load and dips to ~0.87x
+ * near saturation, where the model has no head-of-line blocking or
+ * backpressure.  The p99 band is wider and asymmetric: the VCT p99 is
+ * a coarse log-bucket estimate and the simulator's tail includes
+ * transient congestion the steady-state model excludes.  The asserted
+ * bands below are tighten-only:
+ *
+ *     mean:  queue in [0.70, 1.35] x VCT
+ *     p99:   queue in [0.45, 1.50] x VCT
+ *
+ * A golden file additionally pins the queue curve bit-stably (1e-9
+ * relative - libm erf/cbrt may differ across platforms, so bit-exact
+ * hexfloat would be brittle).  Re-record after an intended model
+ * change:  RFC_GOLDEN_RECORD=1 ./test_queue_validation
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "clos/fat_tree.hpp"
+#include "clos/rfc.hpp"
+#include "flow/demand.hpp"
+#include "flow/paths.hpp"
+#include "flow/solver.hpp"
+#include "queue/latency.hpp"
+#include "queue/queue_model.hpp"
+#include "routing/updown.hpp"
+#include "sim/simulator.hpp"
+
+#ifndef RFC_GOLDEN_DIR
+#define RFC_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace rfc {
+namespace {
+
+constexpr double kMeanLo = 0.70, kMeanHi = 1.35;
+constexpr double kP99Lo = 0.45, kP99Hi = 1.50;
+
+struct VctPoint
+{
+    double mean = 0.0;
+    double p99 = 0.0;
+};
+
+/** Validation-grade VCT run (the config the bands were measured at). */
+VctPoint
+runVct(const FoldedClos &fc, const UpDownOracle &oracle, double load)
+{
+    UniformTraffic traffic;
+    SimConfig cfg;
+    cfg.load = load;
+    cfg.warmup = 1000;
+    cfg.measure = 5000;
+    cfg.seed = 21;
+    Simulator sim(fc, oracle, traffic, cfg);
+    auto r = sim.run();
+    return {r.avg_latency, r.p99_latency};
+}
+
+QueueSweepResult
+runQueue(const FoldedClos &fc, const UpDownOracle &oracle,
+         const std::vector<double> &loads)
+{
+    UpDownEcmpPaths provider(fc, oracle, 64);  // exhaustive at R = 8
+    auto dm = exactUniformDemand(fc.numTerminals());
+    auto problem = buildClosFlowProblem(fc, provider, dm);
+    auto model = makeQueueModel("md1", /*service=*/16.0);
+    QueueSweepOptions opt;
+    opt.loads = loads;
+    return queueLatencySweep(problem, *model, opt);
+}
+
+/** Shared Fig 8 numbers, computed once across all tests. */
+struct Fig8Data
+{
+    std::vector<double> loads = {0.1, 0.3, 0.5, 0.7};
+    QueueSweepResult queue;
+    std::vector<VctPoint> vct;
+};
+
+const Fig8Data &
+fig8()
+{
+    static const Fig8Data data = [] {
+        Fig8Data d;
+        auto fc = buildCft(8, 3);
+        UpDownOracle oracle(fc);
+        d.queue = runQueue(fc, oracle, d.loads);
+        for (double load : d.loads)
+            d.vct.push_back(runVct(fc, oracle, load));
+        return d;
+    }();
+    return data;
+}
+
+TEST(QueueValidation, Cft8MeanWithinBand)
+{
+    const auto &d = fig8();
+    ASSERT_EQ(d.queue.points.size(), d.loads.size());
+    EXPECT_EQ(d.queue.unrouted, 0u);
+    // Exact uniform demand is doubly stochastic: saturation is the
+    // full injection bandwidth.
+    EXPECT_NEAR(d.queue.saturation, 1.0, 1e-9);
+    for (std::size_t i = 0; i < d.loads.size(); ++i) {
+        ASSERT_FALSE(d.queue.points[i].saturated);
+        double ratio = d.queue.points[i].mean_latency / d.vct[i].mean;
+        EXPECT_GE(ratio, kMeanLo)
+            << "load " << d.loads[i] << ": queue "
+            << d.queue.points[i].mean_latency << " vs VCT "
+            << d.vct[i].mean;
+        EXPECT_LE(ratio, kMeanHi)
+            << "load " << d.loads[i] << ": queue "
+            << d.queue.points[i].mean_latency << " vs VCT "
+            << d.vct[i].mean;
+    }
+}
+
+TEST(QueueValidation, Cft8P99WithinBand)
+{
+    const auto &d = fig8();
+    for (std::size_t i = 0; i < d.loads.size(); ++i) {
+        double ratio = d.queue.points[i].p99_latency / d.vct[i].p99;
+        EXPECT_GE(ratio, kP99Lo)
+            << "load " << d.loads[i] << ": queue "
+            << d.queue.points[i].p99_latency << " vs VCT "
+            << d.vct[i].p99;
+        EXPECT_LE(ratio, kP99Hi)
+            << "load " << d.loads[i] << ": queue "
+            << d.queue.points[i].p99_latency << " vs VCT "
+            << d.vct[i].p99;
+    }
+}
+
+TEST(QueueValidation, Cft8LowLoadConvergesToZeroLoadFloor)
+{
+    // At vanishing load both engines must sit on the pipelined
+    // cut-through floor: hops * link_latency + pkt_phits.
+    auto fc = buildCft(8, 3);
+    UpDownOracle oracle(fc);
+    auto queue = runQueue(fc, oracle, {0.02});
+    double floor = queue.zero_load_latency;
+    ASSERT_GT(floor, 16.0);
+
+    ASSERT_FALSE(queue.points[0].saturated);
+    EXPECT_GE(queue.points[0].mean_latency, floor);
+    EXPECT_LE(queue.points[0].mean_latency, 1.05 * floor);
+
+    auto vct = runVct(fc, oracle, 0.02);
+    EXPECT_GE(vct.mean, 0.97 * floor);
+    EXPECT_LE(vct.mean, 1.15 * floor);
+}
+
+TEST(QueueValidation, Rfc8MeanWithinBand)
+{
+    // Cross-family spot check at loads safely under the RFC's lower
+    // saturation point.
+    Rng rng(17);
+    auto built = buildRfc(8, 3, 32, rng, 50);
+    ASSERT_TRUE(built.routable);
+    UpDownOracle oracle(built.topology);
+    std::vector<double> loads = {0.2, 0.3};
+    auto queue = runQueue(built.topology, oracle, loads);
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        ASSERT_FALSE(queue.points[i].saturated)
+            << "RFC saturation " << queue.saturation;
+        auto vct = runVct(built.topology, oracle, loads[i]);
+        double ratio = queue.points[i].mean_latency / vct.mean;
+        EXPECT_GE(ratio, kMeanLo)
+            << "load " << loads[i] << ": queue "
+            << queue.points[i].mean_latency << " vs VCT " << vct.mean;
+        EXPECT_LE(ratio, kMeanHi)
+            << "load " << loads[i] << ": queue "
+            << queue.points[i].mean_latency << " vs VCT " << vct.mean;
+    }
+}
+
+// --- golden curve ---------------------------------------------------
+
+bool
+recordMode()
+{
+    const char *env = std::getenv("RFC_GOLDEN_RECORD");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+TEST(QueueValidation, Cft8GoldenCurve)
+{
+    const auto &d = fig8();
+    std::vector<std::pair<std::string, double>> got = {
+        {"saturation", d.queue.saturation},
+        {"zero_load_latency", d.queue.zero_load_latency},
+        {"offered_weight", d.queue.offered_weight},
+    };
+    for (std::size_t i = 0; i < d.loads.size(); ++i) {
+        auto tag = [&](const char *k) {
+            return std::string(k) + "_" + fmtDouble(d.loads[i]);
+        };
+        got.emplace_back(tag("mean"), d.queue.points[i].mean_latency);
+        got.emplace_back(tag("p50"), d.queue.points[i].p50_latency);
+        got.emplace_back(tag("p99"), d.queue.points[i].p99_latency);
+    }
+
+    std::string path =
+        std::string(RFC_GOLDEN_DIR) + "/queue_cft8_uniform.txt";
+    if (recordMode()) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        for (const auto &kv : got)
+            out << kv.first << " " << fmtDouble(kv.second) << "\n";
+        GTEST_LOG_(INFO) << "recorded golden queue_cft8_uniform";
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path
+                           << " (record with RFC_GOLDEN_RECORD=1)";
+    std::size_t matched = 0;
+    std::string key, value;
+    while (in >> key >> value) {
+        bool found = false;
+        for (const auto &kv : got)
+            if (kv.first == key) {
+                double want = std::stod(value);
+                // 1e-9 relative: bit-stable up to libm differences.
+                EXPECT_NEAR(kv.second, want,
+                            1e-9 * std::max(1.0, std::abs(want)))
+                    << "field " << key;
+                found = true;
+                ++matched;
+            }
+        EXPECT_TRUE(found) << "golden has unknown field " << key;
+    }
+    EXPECT_EQ(matched, got.size()) << "field set changed";
+}
+
+} // namespace
+} // namespace rfc

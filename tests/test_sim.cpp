@@ -326,6 +326,15 @@ TEST(Sweep, LoadRangeSpacing)
     EXPECT_NEAR(loads[1] - loads[0], 0.1, 1e-12);
 }
 
+TEST(Sweep, LoadRangeRejectsZeroAndBadBounds)
+{
+    // A range touching 0 would hand SimConfig a load it rejects.
+    EXPECT_THROW(loadRange(0.0, 0.9, 5), std::invalid_argument);
+    EXPECT_THROW(loadRange(-0.1, 0.9, 5), std::invalid_argument);
+    EXPECT_THROW(loadRange(0.1, 1.1, 5), std::invalid_argument);
+    EXPECT_THROW(loadRange(0.5, 0.2, 5), std::invalid_argument);
+}
+
 TEST(Sweep, RunLoadSweepProducesMonotoneOffered)
 {
     auto fc = buildCft(8, 2);

@@ -45,6 +45,10 @@ TEST(SimConfigValidate, RejectsBadParameters)
     broken([](SimConfig &c) { c.warmup = -1; });
     broken([](SimConfig &c) { c.measure = 0; });  // warmup >= total
     broken([](SimConfig &c) { c.load = -0.1; });
+    // Exactly 0 must be rejected too: the Bernoulli injection step
+    // divides by log(1 - load / pkt_phits) and a zero-load run measures
+    // nothing, leaving quantile readers with an empty histogram.
+    broken([](SimConfig &c) { c.load = 0.0; });
     broken([](SimConfig &c) { c.load = 1.5; });
     broken([](SimConfig &c) { c.source_queue = 0; });
     broken([](SimConfig &c) { c.shards = -1; });
