@@ -151,6 +151,53 @@ main(int argc, char **argv)
         c.print(std::cout);
     }
 
+    // Closed-loop workloads: the completion-time view of the same
+    // ranking - RPC tail latency and coflow completion time from the
+    // VCT engine driven by src/workload (small window; increase
+    // --measure for converged tails).
+    {
+        WorkloadGrid grid;
+        std::vector<UpDownOracle> oracles;
+        oracles.reserve(nets.size());
+        for (const auto &net : nets)
+            oracles.emplace_back(net);
+        for (std::size_t i = 0; i < nets.size(); ++i)
+            grid.addNetwork(nets[i].name(), nets[i], oracles[i]);
+        WorkloadSpec rpc;
+        WorkloadSpec coflow;
+        coflow.kind = "coflow";
+        grid.workloads = {rpc, coflow};
+        grid.loads = {opts.getDouble("load", 0.5)};
+        grid.base.warmup = 400;
+        grid.base.measure =
+            opts.getInt("measure", 2000);
+        grid.base.seed =
+            static_cast<std::uint64_t>(opts.getInt("seed", 2));
+        ExperimentEngine engine(
+            opts.jobs(), static_cast<std::uint64_t>(opts.getInt("seed",
+                                                                2)));
+        WorkloadGridResult wl = runWorkloadGrid(grid, engine);
+
+        std::cout << "\nclosed-loop workloads at load "
+                  << TablePrinter::fmt(grid.loads[0], 2)
+                  << " (cycles):\n";
+        TablePrinter w({"topology", "workload", "rpc-p50", "rpc-p99",
+                        "cct-mean", "goodput"});
+        for (const auto &p : wl.points) {
+            const bool coflow_row = p.kind == "coflow";
+            w.addRow({p.network, p.workload,
+                      coflow_row ? "-"
+                                 : TablePrinter::fmt(p.rpc_p50.mean, 1),
+                      coflow_row ? "-"
+                                 : TablePrinter::fmt(p.rpc_p99.mean, 1),
+                      coflow_row
+                          ? TablePrinter::fmt(p.cct_mean.mean, 1)
+                          : "-",
+                      TablePrinter::fmt(p.goodput.mean, 3)});
+        }
+        w.print(std::cout);
+    }
+
     // Memory budget: what each representation costs to hold, and what
     // the compressed forwarding tables save over dense per-entry
     // storage (the deployable-artifact cost of "simple ECMP routing").

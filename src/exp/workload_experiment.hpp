@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Closed-loop workload grids on the deterministic experiment engine.
+ *
+ * Same declarative shape as ExperimentGrid / QueueGrid with the
+ * traffic-pattern axis replaced by WorkloadSpec: the cross product
+ * networks x workloads x loads, each point repeated `repetitions`
+ * times.  Every trial attaches a fresh workload instance to a fresh
+ * Simulator (Simulator::attachWorkload), so closed-loop state never
+ * crosses trials.
+ *
+ * Seeding follows the src/exp contract: trial r of point p runs at
+ * SimConfig::seed = deriveSeed(base_seed, p, r), and the engine
+ * derives the workload's own stream from that seed.  Results are
+ * bit-identical at any --jobs value (trial slots indexed by trial id,
+ * serial aggregation) and, via the engine's sharding contract, at any
+ * SimConfig::jobs value for a fixed shard count.
+ */
+#ifndef RFC_EXP_WORKLOAD_EXPERIMENT_HPP
+#define RFC_EXP_WORKLOAD_EXPERIMENT_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "workload/closed_loop.hpp"
+
+namespace rfc {
+
+/** Declarative closed-loop study: networks x workloads x loads. */
+struct WorkloadGrid
+{
+    std::vector<ExperimentGrid::Network> networks;
+    std::vector<WorkloadSpec> workloads;
+    /** Pressure knob per sweep point, each in (0, 1] (see makeWorkload). */
+    std::vector<double> loads;
+    SimConfig base;  //!< template; load and seed set per trial
+    int repetitions = 1;
+
+    WorkloadGrid &addNetwork(std::string label, const FoldedClos &fc,
+                             const UpDownOracle &oracle);
+
+    std::size_t
+    numPoints() const
+    {
+        return networks.size() * workloads.size() * loads.size();
+    }
+};
+
+/** Aggregated closed-loop results at one (network, workload, load). */
+struct WorkloadPointResult
+{
+    std::string network;
+    std::string workload;  //!< WorkloadSpec::label()
+    std::string kind;      //!< rpc | incast | coflow
+    double load = 0.0;
+    int reps = 0;
+    long long terminals = 0;
+
+    MetricStat goodput;        //!< workload phits/terminal/cycle
+    MetricStat accepted;       //!< engine accepted load (same window)
+    MetricStat avg_latency;    //!< per-packet latency (engine view)
+    MetricStat p99_latency;
+
+    MetricStat fct_mean;       //!< flow completion time (cycles)
+    MetricStat fct_p50;
+    MetricStat fct_p99;
+    MetricStat fct_max;
+
+    MetricStat rpc_mean;       //!< RPC / incast-wave latency (cycles)
+    MetricStat rpc_p50;
+    MetricStat rpc_p99;
+    MetricStat rpc_p999;
+    MetricStat rpc_max;
+
+    MetricStat cct_mean;       //!< coflow completion time (cycles)
+    MetricStat cct_max;
+
+    MetricStat messages_sent;    //!< per-trial mean, not a sum
+    MetricStat flows_completed;  //!< per-trial mean, not a sum
+    MetricStat rpcs_completed;   //!< per-trial mean, not a sum
+    MetricStat coflow_phases;    //!< per-trial mean, not a sum
+
+    /** Trials whose conservation residual or eject mismatch != 0. */
+    long long conservation_violations = 0;
+
+    double trial_seconds_total = 0.0;
+    double trial_seconds_max = 0.0;
+
+    // ---- memory budget (bit-stable structure sizes) -------------
+    std::int64_t topology_bytes = 0;
+    std::int64_t oracle_bytes = 0;
+};
+
+/** Points in grid order: network-major, then workload, then load. */
+struct WorkloadGridResult
+{
+    std::vector<WorkloadPointResult> points;
+    double wall_seconds = 0.0;
+    int jobs = 1;
+
+    std::size_t
+    index(std::size_t net, std::size_t wl, std::size_t load,
+          std::size_t n_wls, std::size_t n_loads) const
+    {
+        return (net * n_wls + wl) * n_loads + load;
+    }
+};
+
+/**
+ * Run every grid point `repetitions` times on @p engine's pool.
+ * Every field except the *_seconds timings is bit-identical at any
+ * jobs value.
+ */
+WorkloadGridResult runWorkloadGrid(const WorkloadGrid &grid,
+                                   const ExperimentEngine &engine);
+
+/** Emit a workload grid result as JSON (src/exp house style). */
+void writeWorkloadGridJson(std::ostream &os, const WorkloadGrid &grid,
+                           const WorkloadGridResult &result,
+                           std::uint64_t base_seed);
+
+} // namespace rfc
+
+#endif // RFC_EXP_WORKLOAD_EXPERIMENT_HPP

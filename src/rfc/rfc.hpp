@@ -36,6 +36,7 @@
 #include "exp/experiment.hpp"
 #include "exp/flow_experiment.hpp"
 #include "exp/queue_experiment.hpp"
+#include "exp/workload_experiment.hpp"
 #include "flow/demand.hpp"
 #include "flow/paths.hpp"
 #include "flow/solver.hpp"

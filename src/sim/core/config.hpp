@@ -25,6 +25,7 @@
 #define RFC_SIM_CORE_CONFIG_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace rfc {
@@ -154,6 +155,57 @@ struct PerfCounters
     void merge(const PerfCounters &o);
 };
 
+/**
+ * Closed-loop workload results, filled only when a Workload was
+ * attached to the run (active == true).  Window-gated metrics use the
+ * measurement window; accounting fields cover the whole run.  All
+ * fields are deterministic under the engine's sharding contract.
+ */
+struct WorkloadMetrics
+{
+    bool active = false;
+    std::string name;            //!< workload strategy name
+
+    long long messages_sent = 0;   //!< messages fully queued
+    long long requests_sent = 0;
+    long long responses_sent = 0;
+    long long flows_completed = 0;    //!< messages received in window
+    long long rpcs_completed = 0;     //!< RPCs / incast waves in window
+    long long coflow_phases = 0;      //!< coflow phases (whole run)
+
+    /** Workload phits ejected in window / (measure * terminals). */
+    double goodput = 0.0;
+
+    double fct_mean = 0.0;  //!< flow completion time stats (window)
+    double fct_p50 = 0.0;
+    double fct_p99 = 0.0;
+    double fct_max = 0.0;
+
+    double rpc_mean = 0.0;  //!< RPC / incast-wave latency stats (window)
+    double rpc_p50 = 0.0;
+    double rpc_p99 = 0.0;
+    double rpc_p999 = 0.0;
+    double rpc_max = 0.0;
+
+    double cct_mean = 0.0;  //!< coflow completion time stats (window)
+    double cct_max = 0.0;
+    std::vector<double> ccts;  //!< per-phase CCTs in window
+
+    // ---- conservation accounting (whole run) -------------------------
+    long long msgs_created = 0;
+    long long msgs_delivered = 0;
+    long long pkts_created = 0;
+    long long pkts_pending = 0;   //!< buffered in the workload at end
+    long long pkts_received = 0;
+    /**
+     * pkts_created - (pkts_pending + source-queued + in-flight +
+     * pkts_received); 0 on every conserving run.
+     */
+    long long conservation_residual = 0;
+    /** ejected_packets - pkts_received; 0 when every ejection is seen. */
+    long long eject_mismatch = 0;
+};
+
 /** Aggregated measurement results. */
 struct SimResult
 {
@@ -186,6 +238,7 @@ struct SimResult
     long long telemetry_bin = 0;
 
     PerfCounters perf;         //!< engine counters for this run
+    WorkloadMetrics workload;  //!< closed-loop metrics (inactive default)
 };
 
 } // namespace rfc

@@ -12,9 +12,12 @@
  * routing Policy:
  *
  *   struct Policy {
- *     // payload: gen = birth cycle; noroute is engine-owned state
- *     // (set while the packet is parked without a route).
- *     struct Pkt { std::int32_t gen; std::uint8_t noroute; ... };
+ *     // payload: gen = birth cycle; noroute, wl_src and wl_tag are
+ *     // engine-owned state (noroute marks a packet parked without a
+ *     // route; wl_src/wl_tag carry the closed-loop workload routing
+ *     // information to the ejection callback).
+ *     struct Pkt { std::int32_t gen; std::uint8_t noroute;
+ *                  std::int32_t wl_src; std::uint32_t wl_tag; ... };
  *     bool routable(long long term, long long dest) const;
  *     // Injection VC for the head-of-queue packet, or -1 to retry
  *     // next cycle.  `credits` points at the terminal's per-VC
@@ -83,6 +86,7 @@
 #include "sim/core/layout.hpp"
 #include "sim/traffic.hpp"
 #include "util/rng.hpp"
+#include "workload/workload.hpp"
 
 namespace rfc {
 
@@ -208,6 +212,30 @@ class VctEngine
         hook_idx_ = 0;
     }
 
+    /**
+     * Attach a closed-loop workload (see workload/workload.hpp): the
+     * engine stops generating open-loop traffic and instead drives
+     * @p wl through onWake/onDeliver callbacks on the shard threads
+     * owning each terminal (plus barrier-ordered onGlobalStep when the
+     * workload wants it).  Every terminal gets an initial onWake at
+     * cycle 0.  @p wl must outlive the engine; nullptr detaches.  Must
+     * be called before run().  Workload draws come from a dedicated
+     * deriveSeed stream, so attaching a workload never perturbs the
+     * engine's arbitration draws.
+     */
+    void
+    setWorkload(Workload *wl)
+    {
+        wl_ = wl;
+        wl_global_ = wl != nullptr && wl->wantsGlobalStep();
+        if (wl != nullptr) {
+            wl_next_.assign(lay_.num_terms, -1);
+            src_tag_.assign(static_cast<std::size_t>(lay_.num_terms) *
+                                cfg_.source_queue,
+                            0);
+        }
+    }
+
     /** Guard results (empty unless built with RFC_CHECK_INVARIANTS). */
     const CheckContext &checkContext() const { return check_; }
 
@@ -285,6 +313,11 @@ class VctEngine
         CheckContext check;
         long long injected = 0, ejected = 0, queued = 0;
         long long last_progress = 0;
+
+        // Closed-loop workload accounting (merged in shard order) and
+        // the end-of-cycle global-step request flag.
+        WorkloadStats wl_stats;
+        bool wl_signal = false;
 
         explicit ShardCtx(Policy p) : policy(std::move(p)) {}
     };
@@ -399,6 +432,68 @@ class VctEngine
     void processGeneration(ShardCtx &c, long long now);
     void processInjection(ShardCtx &c, long long now);
 
+    // ---- closed-loop workload hooks --------------------------------
+    /** WorkloadPort bound to one callback invocation. */
+    class PortImpl final : public WorkloadPort
+    {
+      public:
+        PortImpl(VctEngine *e, ShardCtx *c, long long now,
+                 long long inject_at, bool global = false)
+            : e_(e), c_(c), now_(now), inject_at_(inject_at),
+              global_(global)
+        {
+        }
+
+        bool
+        send(long long src, long long dest, int packets,
+             std::uint32_t tag) override
+        {
+            return e_->workloadSend(c_, global_, src, dest, packets, tag,
+                                    now_, inject_at_);
+        }
+
+        void
+        wakeAt(long long term, long long at) override
+        {
+            e_->workloadWake(c_, global_, term, at, now_);
+        }
+
+        void signalGlobal() override { c_->wl_signal = true; }
+
+        int
+        sourceRoom(long long term) const override
+        {
+            if (term < 0 || term >= e_->lay_.num_terms)
+                throw std::invalid_argument(
+                    "WorkloadPort::sourceRoom: terminal out of range");
+            return e_->cfg_.source_queue - e_->sq_count_[term];
+        }
+
+      private:
+        VctEngine *e_;
+        ShardCtx *c_;
+        long long now_, inject_at_;
+        bool global_;
+    };
+
+    /** Resolve the shard owning terminal @p term's source queue. */
+    ShardCtx &
+    ownerShard(long long term)
+    {
+        return shards_[sharded_ ? shardOfSwitch(lay_.term_switch[term])
+                                : 0];
+    }
+
+    bool workloadSend(ShardCtx *caller, bool global, long long src,
+                      long long dest, int packets, std::uint32_t tag,
+                      long long now, long long inject_at);
+    void workloadWake(ShardCtx *caller, bool global, long long term,
+                      long long at, long long now);
+    /** Closed-loop replacement for processGeneration: fire due timers. */
+    void processWorkloadWakes(ShardCtx &c, long long now);
+    /** End-of-cycle onGlobalStep dispatch (single-threaded). */
+    void workloadGlobalStep(long long now);
+
     /** Legacy-mode arbitration: one switch, old draw order. */
     void arbitrateSwitchLegacy(ShardCtx &c, int s, long long now);
     /** Sharded-mode arbitration: wake-wheel driven, whole shard. */
@@ -504,6 +599,15 @@ class VctEngine
     std::vector<long long> hook_cycles_;
     std::size_t hook_idx_ = 0;
     std::function<void(long long)> hook_;
+
+    // ---- closed-loop workload --------------------------------------
+    Workload *wl_ = nullptr;
+    bool wl_global_ = false;
+    /** Per-terminal wake timer (-1 = none); gen_wheel entries whose
+     *  terminal's timer moved or fired are dropped as stale. */
+    std::vector<std::int64_t> wl_next_;
+    /** Per source-queue slot: workload tag riding with the packet. */
+    std::vector<std::uint32_t> src_tag_;
 
     // ---- shards -----------------------------------------------------
     std::vector<ShardCtx> shards_;
@@ -771,6 +875,8 @@ VctEngine<Policy>::processInjection(ShardCtx &c, long long now)
         Pkt &p = pkt(id);
         p.gen = gen;
         p.noroute = 0;
+        p.wl_src = t;
+        p.wl_tag = wl_ != nullptr ? src_tag_[base + k] : 0;
         c.policy.initPacket(p, t, dest, c.rng);
 
         std::int64_t gi = lay_.term_iport[t] * V + best_vc;
@@ -785,6 +891,140 @@ VctEngine<Policy>::processInjection(ShardCtx &c, long long now)
             scheduleInjection(c, t, inj_busy_[t]);
     }
     slot.clear();
+}
+
+// ======================================================================
+// closed-loop workload hooks
+// ======================================================================
+
+/**
+ * Queue a whole workload message into @p src's source queue (the
+ * WorkloadPort::send contract).  All bookkeeping lands on the shard
+ * owning the terminal, so onGlobalStep may send on behalf of any
+ * terminal; per-terminal callbacks are restricted to their own
+ * terminal (enforced below) because touching a peer shard's wheels
+ * from phase 1 would race.
+ */
+template <class Policy>
+bool
+VctEngine<Policy>::workloadSend(ShardCtx *caller, bool global,
+                                long long src, long long dest,
+                                int packets, std::uint32_t tag,
+                                long long now, long long inject_at)
+{
+    if (packets < 1 || packets > cfg_.source_queue)
+        throw std::invalid_argument(
+            "WorkloadPort::send: message of " + std::to_string(packets) +
+            " packets can never fit a " +
+            std::to_string(cfg_.source_queue) + "-packet source queue");
+    if (src < 0 || src >= lay_.num_terms || dest < 0 ||
+        dest >= lay_.num_terms)
+        throw std::invalid_argument(
+            "WorkloadPort::send: terminal out of range");
+    ShardCtx &o = ownerShard(src);
+    if (sharded_ && !global && &o != caller)
+        throw std::logic_error(
+            "WorkloadPort::send: per-terminal callbacks may only send "
+            "from their own terminal (use signalGlobal/onGlobalStep)");
+    if (sq_count_[src] + packets > cfg_.source_queue)
+        return false;
+    if (!o.policy.routable(src, dest))
+        return false;
+    const std::int64_t base =
+        static_cast<std::int64_t>(src) * cfg_.source_queue;
+    for (int i = 0; i < packets; ++i) {
+        int k = sq_head_[src] + sq_count_[src];
+        if (k >= cfg_.source_queue)
+            k -= cfg_.source_queue;
+        src_dest_[base + k] = static_cast<std::int32_t>(dest);
+        src_gen_[base + k] = static_cast<std::int32_t>(now);
+        src_tag_[base + k] = tag;
+        ++sq_count_[src];
+        ++o.generated;
+        if constexpr (kGuards)
+            ++o.queued;
+    }
+    scheduleInjection(o, src, inject_at);
+    return true;
+}
+
+template <class Policy>
+void
+VctEngine<Policy>::workloadWake(ShardCtx *caller, bool global,
+                                long long term, long long at,
+                                long long now)
+{
+    if (term < 0 || term >= lay_.num_terms)
+        throw std::invalid_argument(
+            "WorkloadPort::wakeAt: terminal out of range");
+    ShardCtx &o = ownerShard(term);
+    if (sharded_ && !global && &o != caller)
+        throw std::logic_error(
+            "WorkloadPort::wakeAt: per-terminal callbacks may only arm "
+            "their own terminal (use signalGlobal/onGlobalStep)");
+    if (at <= now)
+        at = now + 1;
+    wl_next_[term] = at;
+    long long gap = at - now;
+    o.gen_wheel[(now + std::min<long long>(gap, kGenWheel - 1)) %
+                kGenWheel]
+        .push_back(static_cast<std::int32_t>(term));
+}
+
+/**
+ * Fire due wake timers (closed-loop replacement for the open-loop
+ * processGeneration, same slot in the cycle: after releases, before
+ * injection - so a message sent from onWake can inject this very
+ * cycle).  Entries whose timer moved are re-pushed toward the new due
+ * cycle; entries whose timer fired or was superseded are stale and
+ * dropped.  wakeAt() never pushes into the slot being drained (the
+ * re-arm gap is clamped to [1, kGenWheel-1]).
+ */
+template <class Policy>
+void
+VctEngine<Policy>::processWorkloadWakes(ShardCtx &c, long long now)
+{
+    auto &slot = c.gen_wheel[now % kGenWheel];
+    if (slot.empty())
+        return;
+    for (std::int32_t t : slot) {
+        const long long due = wl_next_[t];
+        if (due < now)
+            continue;  // stale: fired already or re-armed earlier
+        if (due > now) {
+            long long gap = due - now;
+            c.gen_wheel[(now + std::min<long long>(gap, kGenWheel - 1)) %
+                        kGenWheel]
+                .push_back(t);
+            continue;
+        }
+        wl_next_[t] = -1;
+        PortImpl port(this, &c, now, /*inject_at=*/now);
+        wl_->onWake(t, now, port, c.wl_stats);
+    }
+    slot.clear();
+}
+
+/**
+ * End-of-cycle global step: when any shard raised wl_signal this
+ * cycle, run the workload's cross-terminal logic single-threaded
+ * (callers ensure every worker is parked).  Sends/wakes issued here
+ * land on each terminal's owner shard and take effect next cycle.
+ */
+template <class Policy>
+void
+VctEngine<Policy>::workloadGlobalStep(long long now)
+{
+    bool any = false;
+    for (ShardCtx &c : shards_) {
+        any = any || c.wl_signal;
+        c.wl_signal = false;
+    }
+    if (!any)
+        return;
+    PortImpl port(this, &shards_[0], now, /*inject_at=*/now + 1,
+                  /*global=*/true);
+    wl_->onGlobalStep(now, port, shards_[0].wl_stats);
 }
 
 /**
@@ -890,6 +1130,18 @@ VctEngine<Policy>::commitCandidate(ShardCtx &c, std::int64_t gi,
         }
         ++c.ejected_all;
         recordBin(c, now);
+        if (wl_ != nullptr) {
+            // The terminal sits at this output port; its in- and
+            // out-port share the gid, and feeder_out at a terminal
+            // in-port encodes -(terminal + 1).
+            const long long dst =
+                -static_cast<long long>(lay_.feeder_out[o_gid]) - 1;
+            if (now >= win_start_ && now < win_end_)
+                ++c.wl_stats.window_packets;
+            PortImpl port(this, &c, now, /*inject_at=*/now + 1);
+            wl_->onDeliver(dst, p.wl_src, p.wl_tag, p.gen, done, now,
+                           port, c.wl_stats);
+        }
         freePkt(c, id);
         if constexpr (kGuards) {
             ++c.ejected;
@@ -1323,8 +1575,11 @@ VctEngine<Policy>::runLegacy(long long total)
     std::vector<std::int32_t> active_scratch;
 
     // Stagger initial generation times uniformly over one packet time
-    // to avoid a synchronized burst at cycle 0.
-    for (long long t = 0; cfg_.load > 0.0 && t < lay_.num_terms; ++t) {
+    // to avoid a synchronized burst at cycle 0 (open-loop only: with a
+    // workload attached the engine never generates traffic itself).
+    for (long long t = 0; wl_ == nullptr && cfg_.load > 0.0 &&
+                          t < lay_.num_terms;
+         ++t) {
         long long start = static_cast<long long>(
             c.rng.uniform(static_cast<std::uint64_t>(cfg_.pkt_phits)));
         next_gen_[t] = start;
@@ -1336,7 +1591,10 @@ VctEngine<Policy>::runLegacy(long long total)
         if (hookDue(now))
             runHook(now);
         processReleases(c, now);
-        processGeneration(c, now);
+        if (wl_ != nullptr)
+            processWorkloadWakes(c, now);
+        else
+            processGeneration(c, now);
         processInjection(c, now);
 
         std::swap(c.active_list, active_scratch);
@@ -1350,6 +1608,8 @@ VctEngine<Policy>::runLegacy(long long total)
         }
         active_scratch.clear();
 
+        if (wl_global_)
+            workloadGlobalStep(now);
         if constexpr (kGuards)
             guardCycleLegacy(c, now);
         if ((now & 255) == 0)
@@ -1362,7 +1622,10 @@ void
 VctEngine<Policy>::shardCyclePhase1(ShardCtx &c, long long now)
 {
     processReleases(c, now);
-    processGeneration(c, now);
+    if (wl_ != nullptr)
+        processWorkloadWakes(c, now);
+    else
+        processGeneration(c, now);
     processInjection(c, now);
     arbitrateShard(c, now);
 }
@@ -1383,10 +1646,11 @@ VctEngine<Policy>::runSharded(long long total)
     const int S = static_cast<int>(shards_.size());
 
     // Per-shard stagger draws, in shard order: the start times of a
-    // shard's terminals depend only on that shard's RNG stream.
+    // shard's terminals depend only on that shard's RNG stream
+    // (open-loop only; a workload drives all generation itself).
     for (ShardCtx &c : shards_) {
         for (long long t = c.term_begin;
-             cfg_.load > 0.0 && t < c.term_end; ++t) {
+             wl_ == nullptr && cfg_.load > 0.0 && t < c.term_end; ++t) {
             long long start = static_cast<long long>(c.rng.uniform(
                 static_cast<std::uint64_t>(cfg_.pkt_phits)));
             next_gen_[t] = start;
@@ -1410,6 +1674,8 @@ VctEngine<Policy>::runSharded(long long total)
                 shardCyclePhase1(c, now);
             for (ShardCtx &c : shards_)
                 shardCyclePhase2(c, now);
+            if (wl_global_)
+                workloadGlobalStep(now);
             if constexpr (kGuards) {
                 if ((now & 255) == 0) {
                     guardConservationGlobal(now);
@@ -1440,6 +1706,14 @@ VctEngine<Policy>::runSharded(long long total)
             for (int k = tid; k < S; k += T)
                 shardCyclePhase2(shards_[k], now);
             barrier.arriveAndWait();
+            // Workload global step: one thread runs the cross-terminal
+            // logic while everyone else is parked; the extra barrier
+            // orders its sends/wakes before the next cycle's phase 1.
+            if (wl_global_) {
+                if (tid == 0)
+                    workloadGlobalStep(now);
+                barrier.arriveAndWait();
+            }
             if constexpr (kGuards) {
                 if ((now & 255) == 0) {
                     if (tid == 0) {
@@ -1512,6 +1786,86 @@ VctEngine<Policy>::collectResult(double wall_seconds)
         wall_seconds > 0.0
             ? static_cast<double>(r.perf.cycles) / wall_seconds
             : 0.0;
+
+    if (wl_ != nullptr) {
+        WorkloadStats ws;
+        for (ShardCtx &c : shards_)
+            ws.merge(c.wl_stats);
+        const WorkloadAccount acc = wl_->account();
+        WorkloadMetrics &w = r.workload;
+        w.active = true;
+        w.name = wl_->name();
+        w.messages_sent = ws.messages_sent;
+        w.requests_sent = ws.requests_sent;
+        w.responses_sent = ws.responses_sent;
+        w.flows_completed = ws.flows_done;
+        w.rpcs_completed = ws.rpcs_done;
+        w.coflow_phases = ws.coflow_phases_all;
+        w.goodput = static_cast<double>(ws.window_packets) *
+                    cfg_.pkt_phits /
+                    (static_cast<double>(cfg_.measure) *
+                     static_cast<double>(lay_.num_terms));
+        if (ws.fct_hist.count() > 0) {
+            w.fct_mean =
+                ws.fct_sum / static_cast<double>(ws.fct_hist.count());
+            w.fct_p50 = ws.fct_hist.quantile(0.50);
+            w.fct_p99 = ws.fct_hist.quantile(0.99);
+            w.fct_max = static_cast<double>(ws.fct_hist.maxSample());
+        }
+        if (ws.rpc_hist.count() > 0) {
+            w.rpc_mean =
+                ws.rpc_sum / static_cast<double>(ws.rpc_hist.count());
+            w.rpc_p50 = ws.rpc_hist.quantile(0.50);
+            w.rpc_p99 = ws.rpc_hist.quantile(0.99);
+            w.rpc_p999 = ws.rpc_hist.quantile(0.999);
+            w.rpc_max = static_cast<double>(ws.rpc_hist.maxSample());
+        }
+        if (!ws.ccts.empty()) {
+            double sum = 0.0, mx = 0.0;
+            for (double v : ws.ccts) {
+                sum += v;
+                mx = std::max(mx, v);
+            }
+            w.cct_mean = sum / static_cast<double>(ws.ccts.size());
+            w.cct_max = mx;
+        }
+        w.ccts = std::move(ws.ccts);
+        w.msgs_created = acc.msgs_created;
+        w.msgs_delivered = acc.msgs_delivered;
+        w.pkts_created = acc.pkts_created;
+        w.pkts_pending = acc.pkts_pending;
+        w.pkts_received = acc.pkts_received;
+        // Message conservation: every created packet is still buffered
+        // in the workload, queued at a source, in flight, or received.
+        w.conservation_residual =
+            acc.pkts_created -
+            (acc.pkts_pending + r.queued_packets_end +
+             r.in_flight_packets + acc.pkts_received);
+        w.eject_mismatch = r.ejected_packets - acc.pkts_received;
+        if constexpr (kGuards) {
+            check_.countChecks(2);
+            if (w.conservation_residual != 0)
+                check_.report(
+                    "workload-conservation", win_end_, -1, -1,
+                    "residual " +
+                        std::to_string(w.conservation_residual) +
+                        " (created " + std::to_string(acc.pkts_created) +
+                        ", pending " + std::to_string(acc.pkts_pending) +
+                        ", queued " +
+                        std::to_string(r.queued_packets_end) +
+                        ", in-flight " +
+                        std::to_string(r.in_flight_packets) +
+                        ", received " +
+                        std::to_string(acc.pkts_received) + ")");
+            if (w.eject_mismatch != 0)
+                check_.report("workload-eject-accounting", win_end_, -1,
+                              -1,
+                              "ejected " +
+                                  std::to_string(r.ejected_packets) +
+                                  " != received " +
+                                  std::to_string(acc.pkts_received));
+        }
+    }
     return r;
 }
 
@@ -1531,6 +1885,21 @@ VctEngine<Policy>::run()
     // the traffic, exactly like the pre-refactor single-RNG loop.
     if (!sharded_)
         shards_[0].rng = rng_;
+
+    if (wl_ != nullptr) {
+        // The workload draws from its own deriveSeed stream and every
+        // terminal gets an initial wake at cycle 0 (pushed onto its
+        // owner shard's wheel so the callback runs on the right
+        // thread).
+        wl_->init(lay_.num_terms, win_start_, win_end_,
+                  deriveSeed(cfg_.seed, 0x574C4F41ULL, 0));
+        for (ShardCtx &c : shards_) {
+            for (long long t = c.term_begin; t < c.term_end; ++t) {
+                wl_next_[t] = 0;
+                c.gen_wheel[0].push_back(static_cast<std::int32_t>(t));
+            }
+        }
+    }
 
     if (sharded_)
         runSharded(total);

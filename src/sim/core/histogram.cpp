@@ -36,6 +36,15 @@ LatencyHistogram::add(long long cycles)
                                     static_cast<unsigned long long>(
                                         cycles)));
     ++bucket_[b];
+    const long long v = std::max(0LL, cycles);
+    if (total_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += static_cast<double>(v);
     ++total_;
 }
 
@@ -52,8 +61,18 @@ LatencyHistogram::quantile(double q) const
 void
 LatencyHistogram::merge(const LatencyHistogram &other)
 {
+    if (other.total_ == 0)
+        return;
     for (int b = 0; b < kBuckets; ++b)
         bucket_[b] += other.bucket_[b];
+    if (total_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    sum_ += other.sum_;
     total_ += other.total_;
 }
 

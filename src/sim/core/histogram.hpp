@@ -23,19 +23,33 @@ class LatencyHistogram
 
     long long count() const { return total_; }
 
+    /** Smallest / largest sample recorded (exact, not binned); 0 empty. */
+    long long minSample() const { return total_ == 0 ? 0 : min_; }
+    long long maxSample() const { return total_ == 0 ? 0 : max_; }
+
+    /** Exact sum of all samples (0.0 when empty). */
+    double sum() const { return sum_; }
+
     /**
      * Approximate value at quantile q in [0, 1] (type-7 over the
      * buckets [0,1), [1,2), [2,4), ... [2^46,2^47)); 0.0 when empty.
      */
     double quantile(double q) const;
 
-    /** Fold another histogram's samples into this one. */
+    /**
+     * Fold another histogram's samples into this one.  Merging an
+     * empty histogram is a strict no-op (bucket counts, extrema and
+     * sum are all untouched).
+     */
     void merge(const LatencyHistogram &other);
 
   private:
     static constexpr int kBuckets = 48;
     long long bucket_[kBuckets] = {};
     long long total_ = 0;
+    long long min_ = 0;
+    long long max_ = 0;
+    double sum_ = 0.0;
 };
 
 } // namespace rfc

@@ -39,6 +39,8 @@ class KspPolicy
         std::int16_t hop;        //!< links crossed so far
         std::int16_t cur_out;    //!< resolved out port (-1 = not yet)
         std::uint8_t noroute;    //!< engine-owned: parked without a route
+        std::int32_t wl_src;     //!< engine-owned: source terminal
+        std::uint32_t wl_tag;    //!< engine-owned: workload message tag
     };
 
     KspPolicy(const Graph &g, const KspRoutes &routes,

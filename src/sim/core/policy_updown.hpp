@@ -37,6 +37,8 @@ class UpDownPolicy
         std::int32_t inter_leaf;  //!< Valiant intermediate (-1 = none)
         std::int8_t phase;        //!< 0 = toward intermediate, 1 = final
         std::uint8_t noroute;     //!< engine-owned: parked without a route
+        std::int32_t wl_src;      //!< engine-owned: source terminal
+        std::uint32_t wl_tag;     //!< engine-owned: workload message tag
     };
 
     UpDownPolicy(const FoldedClos &fc, const UpDownOracle &oracle,

@@ -74,6 +74,14 @@ class Simulator
     SimResult run() { return engine_->run(); }
 
     /**
+     * Attach a closed-loop workload (src/workload): the engine stops
+     * generating open-loop traffic and the workload drives injection
+     * through its callbacks; SimResult::workload carries the metrics.
+     * @p wl must outlive the simulator.  Call before run().
+     */
+    void attachWorkload(Workload &wl) { engine_->setWorkload(&wl); }
+
+    /**
      * Runtime invariant guard results (populated only when the library
      * is built with -DRFC_CHECK_INVARIANTS=ON; otherwise the guards
      * compile out and this context stays empty).

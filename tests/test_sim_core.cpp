@@ -60,6 +60,8 @@ TEST(SimConfigValidate, RejectsBadParameters)
         c.route_mode = RouteMode::kValiant;
         c.vcs = 1;
     });
+    broken([](SimConfig &c) { c.telemetry_bin = -1; });
+    broken([](SimConfig &c) { c.route_ttl = -1; });
 }
 
 TEST(SimConfigValidate, ConstructorsValidate)
@@ -112,6 +114,44 @@ TEST(LatencyHistogramCore, MergeEqualsConcatenation)
     EXPECT_EQ(a.count(), all.count());
     for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0})
         EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+}
+
+TEST(LatencyHistogramCore, TracksMinMaxSum)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.minSample(), 0);
+    EXPECT_EQ(h.maxSample(), 0);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    h.add(40);
+    h.add(5);
+    h.add(1000);
+    EXPECT_EQ(h.minSample(), 5);
+    EXPECT_EQ(h.maxSample(), 1000);
+    EXPECT_DOUBLE_EQ(h.sum(), 1045.0);
+}
+
+TEST(LatencyHistogramCore, MergeWithEmptyIsNoOp)
+{
+    LatencyHistogram a, empty;
+    a.add(12);
+    a.add(90);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2);
+    EXPECT_EQ(a.minSample(), 12);
+    EXPECT_EQ(a.maxSample(), 90);
+    EXPECT_DOUBLE_EQ(a.sum(), 102.0);
+}
+
+TEST(LatencyHistogramCore, MergeIntoEmptyAdoptsExtrema)
+{
+    LatencyHistogram a, b;
+    b.add(12);
+    b.add(90);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2);
+    EXPECT_EQ(a.minSample(), 12);
+    EXPECT_EQ(a.maxSample(), 90);
+    EXPECT_DOUBLE_EQ(a.sum(), 102.0);
 }
 
 TEST(LatencyHistogramCore, MergeOrderIrrelevant)
