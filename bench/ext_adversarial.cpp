@@ -63,8 +63,8 @@ main(int argc, char **argv)
         };
     };
 
-    // Four configurations per case: CFT minimal, RFC minimal, RFC
-    // up/down-random, RFC Valiant.
+    // Five configurations per case: CFT minimal, RFC minimal, RFC
+    // up/down-random, RFC Valiant, RFC UGAL-adaptive.
     std::vector<TrialSpec> specs;
     for (const auto &c : cases) {
         SimConfig cfg = base;
@@ -79,6 +79,10 @@ main(int argc, char **argv)
         cfg.route_mode = RouteMode::kValiant;
         specs.push_back({&built.topology, &o_rfc, shift(c.stride), cfg,
                          std::string(c.label) + "/RFC-valiant"});
+        TrialSpec ugal{&built.topology, &o_rfc, shift(c.stride), cfg,
+                       std::string(c.label) + "/RFC-ugal"};
+        ugal.policy = ClosPolicy::kAdaptiveUgal;
+        specs.push_back(std::move(ugal));
     }
 
     ExperimentEngine engine(opts.jobs(), base.seed);
@@ -86,18 +90,21 @@ main(int argc, char **argv)
         specs, static_cast<int>(opts.getInt("trials", 1)));
 
     TablePrinter t({"pattern", "stride", "thr(CFT)", "thr(RFC minimal)",
-                    "thr(RFC updown-random)", "thr(RFC Valiant)"});
+                    "thr(RFC updown-random)", "thr(RFC Valiant)",
+                    "thr(RFC UGAL)"});
     std::size_t p = 0;
     for (const auto &c : cases) {
         const auto &r1 = points[p++];
         const auto &r2 = points[p++];
         const auto &r3 = points[p++];
         const auto &r4 = points[p++];
+        const auto &r5 = points[p++];
         t.addRow({c.label, TablePrinter::fmtInt(c.stride),
                   TablePrinter::fmt(r1.accepted.mean, 3),
                   TablePrinter::fmt(r2.accepted.mean, 3),
                   TablePrinter::fmt(r3.accepted.mean, 3),
-                  TablePrinter::fmt(r4.accepted.mean, 3)});
+                  TablePrinter::fmt(r4.accepted.mean, 3),
+                  TablePrinter::fmt(r5.accepted.mean, 3)});
     }
     emit(opts, "saturation throughput under shift patterns", t);
     std::cout << "Minimal up/down funnels a leaf-to-leaf flood through "

@@ -84,7 +84,8 @@ main(int argc, char **argv)
     for (const char *tname : {"uniform", "random-pairing"}) {
         TablePrinter t({"offered", "acc(RFC)", "lat(RFC)",
                         "acc(RRN-ecmp)", "lat(RRN-ecmp)",
-                        "acc(RRN-ksp)", "lat(RRN-ksp)"});
+                        "acc(RRN-ksp)", "lat(RRN-ksp)",
+                        "acc(RRN-flowlet)", "lat(RRN-flowlet)"});
         for (double load : loads) {
             SimConfig cfg = base;
             cfg.load = load;
@@ -99,13 +100,19 @@ main(int argc, char **argv)
             DirectSimulator ksp_sim(rrn, routes, hosts, *tr3, cfg,
                                     PathPolicy::kAllKsp);
             auto r3 = ksp_sim.run();
+            auto tr4 = makeTraffic(tname);
+            DirectSimulator flowlet_sim(rrn, routes, hosts, *tr4, cfg,
+                                        PathPolicy::kFlowletEcmp);
+            auto r4 = flowlet_sim.run();
             t.addRow({TablePrinter::fmt(load, 2),
                       TablePrinter::fmt(r1.accepted, 3),
                       TablePrinter::fmt(r1.avg_latency, 1),
                       TablePrinter::fmt(r2.accepted, 3),
                       TablePrinter::fmt(r2.avg_latency, 1),
                       TablePrinter::fmt(r3.accepted, 3),
-                      TablePrinter::fmt(r3.avg_latency, 1)});
+                      TablePrinter::fmt(r3.avg_latency, 1),
+                      TablePrinter::fmt(r4.accepted, 3),
+                      TablePrinter::fmt(r4.avg_latency, 1)});
         }
         emit(opts, std::string("traffic: ") + tname, t);
     }

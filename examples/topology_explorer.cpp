@@ -252,6 +252,34 @@ main(int argc, char **argv)
                       TablePrinter::fmt(r.avg_hops, 2)});
         }
         s.print(std::cout);
+
+        // The same networks under an adversarial leaf flood, oblivious
+        // minimal vs UGAL adaptive: where the fabric has spare
+        // non-minimal capacity, UGAL detours past the funnel.
+        std::cout << "\nadversarial neighbor-leaf shift: oblivious vs "
+                     "adaptive (UGAL)...\n";
+        TablePrinter a({"topology", "acc(minimal)", "lat(minimal)",
+                        "acc(UGAL)", "lat(UGAL)"});
+        for (const auto &net : nets) {
+            UpDownOracle oracle(net);
+            SimConfig cfg;
+            cfg.load = 1.0;
+            cfg.warmup = 600;
+            cfg.measure = 2000;
+            cfg.seed = opts.getInt("seed", 2);
+            ShiftTraffic tr_min(net.terminalsPerLeaf());
+            Simulator min_sim(net, oracle, tr_min, cfg);
+            auto rm = min_sim.run();
+            ShiftTraffic tr_ugal(net.terminalsPerLeaf());
+            Simulator ugal_sim(net, oracle, tr_ugal, cfg,
+                               ClosPolicy::kAdaptiveUgal);
+            auto ru = ugal_sim.run();
+            a.addRow({net.name(), TablePrinter::fmt(rm.accepted, 3),
+                      TablePrinter::fmt(rm.avg_latency, 1),
+                      TablePrinter::fmt(ru.accepted, 3),
+                      TablePrinter::fmt(ru.avg_latency, 1)});
+        }
+        a.print(std::cout);
     }
     return 0;
 }

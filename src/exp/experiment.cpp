@@ -60,6 +60,22 @@ ExperimentGrid::addNetwork(std::string label, const FoldedClos &fc,
 }
 
 ExperimentGrid &
+ExperimentGrid::addPolicy(std::string label, ClosPolicy policy)
+{
+    policies.push_back({std::move(label), policy, RouteMode::kMinimal,
+                        false});
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::addPolicy(std::string label, ClosPolicy policy,
+                          RouteMode mode)
+{
+    policies.push_back({std::move(label), policy, mode, true});
+    return *this;
+}
+
+ExperimentGrid &
 ExperimentGrid::addTraffic(const std::string &name)
 {
     traffics.push_back({name, namedTraffic(name)});
@@ -76,23 +92,51 @@ ExperimentGrid::addTraffic(std::string label, TrafficFactory make)
 std::vector<TrialSpec>
 ExperimentGrid::points() const
 {
+    // An empty policy axis degenerates to one implicit oblivious
+    // entry that leaves base.route_mode alone and adds no label
+    // segment - exactly the pre-policy grid, point for point.
+    static const PolicySpec kImplicit{};
+    std::vector<const PolicySpec *> pols;
+    if (policies.empty())
+        pols.push_back(&kImplicit);
+    else
+        for (const auto &pol : policies)
+            pols.push_back(&pol);
+
     std::vector<TrialSpec> out;
     out.reserve(numPoints());
     for (const auto &net : networks) {
-        for (const auto &pat : traffics) {
-            for (double load : loads) {
-                TrialSpec spec;
-                spec.topology = net.topology;
-                spec.oracle = net.oracle;
-                spec.traffic = pat.make;
-                spec.config = base;
-                spec.config.load = load;
-                spec.label = net.label + "/" + pat.label;
-                out.push_back(std::move(spec));
+        for (const PolicySpec *pol : pols) {
+            for (const auto &pat : traffics) {
+                for (double load : loads) {
+                    TrialSpec spec;
+                    spec.topology = net.topology;
+                    spec.oracle = net.oracle;
+                    spec.traffic = pat.make;
+                    spec.config = base;
+                    spec.config.load = load;
+                    spec.policy = pol->policy;
+                    if (pol->override_mode)
+                        spec.config.route_mode = pol->route_mode;
+                    spec.label = policies.empty()
+                                     ? net.label + "/" + pat.label
+                                     : net.label + "/" + pol->label +
+                                           "/" + pat.label;
+                    out.push_back(std::move(spec));
+                }
             }
         }
     }
     return out;
+}
+
+long long
+conservationGap(const SimResult &r)
+{
+    return r.generated_packets -
+           (r.suppressed_packets + r.unroutable_packets +
+            r.queued_packets_end + r.in_flight_packets +
+            r.ejected_packets + r.dropped_packets);
 }
 
 MetricStat
@@ -161,10 +205,11 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
             // Fault-injection trial: the simulator owns a private
             // overlay + incrementally repaired oracle.
             Simulator sim(*spec.topology, *traffic, cfg,
-                          *spec.timeline);
+                          *spec.timeline, spec.policy);
             trial_results[t] = sim.run();
         } else {
-            Simulator sim(*spec.topology, *spec.oracle, *traffic, cfg);
+            Simulator sim(*spec.topology, *spec.oracle, *traffic, cfg,
+                          spec.policy);
             trial_results[t] = sim.run();
         }
         trial_seconds[t] = seconds(start,
@@ -199,6 +244,8 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
                 p * static_cast<std::size_t>(reps) +
                 static_cast<std::size_t>(rep);
             const SimResult &r = trial_results[t];
+            if (conservationGap(r) != 0)
+                ++pr.conservation_violations;
             acc.add(r.accepted);
             lat.add(r.avg_latency);
             p50.add(r.p50_latency);
@@ -341,6 +388,8 @@ writePointsJson(std::ostream &os, const std::vector<PointResult> &points,
         writeMetric(w, "dropped_packets", p.dropped_packets, p.reps);
         writeMetric(w, "rerouted_packets", p.rerouted_packets, p.reps);
         writeMetric(w, "route_retries", p.route_retries, p.reps);
+        w.kv("conservation_violations",
+             static_cast<std::int64_t>(p.conservation_violations));
         if (p.telemetry_bin > 0) {
             // Fault-recovery telemetry: the headline numbers plus the
             // mean throughput dip/recovery curve.

@@ -24,6 +24,7 @@
 #ifndef RFC_EXP_EXPERIMENT_HPP
 #define RFC_EXP_EXPERIMENT_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -53,6 +54,14 @@ struct TrialSpec
     TrafficFactory traffic;
     SimConfig config;      //!< load/mode/etc; seed overridden per trial
     std::string label;     //!< free-form point label for reports
+
+    /**
+     * Routing-policy family for the trial's Simulator (oblivious
+     * up/down by default; kAdaptiveUgal selects the UGAL policy).
+     * Orthogonal to config.route_mode, which tunes the oblivious
+     * policy's up-phase discipline.
+     */
+    ClosPolicy policy = ClosPolicy::kOblivious;
 
     /**
      * Optional runtime fault schedule: when set, the trial runs the
@@ -93,6 +102,14 @@ struct PointResult
     MetricStat rerouted_packets;    //!< route-loss recoveries (mean)
     MetricStat route_retries;       //!< route-less head-packet cycles
 
+    /**
+     * Trials of this point whose SimResult violated the packet
+     * conservation identity (see conservationGap); always audited, so
+     * any engine/policy accounting bug fails loudly in bench output.
+     * Bit-stable (0 on a healthy build) and part of determinism diffs.
+     */
+    long long conservation_violations = 0;
+
     // ---- fault-recovery aggregates ------------------------------
     // Populated when the point's trials carried a FaultTimeline and
     // telemetry bins (SimConfig::telemetry_bin > 0).
@@ -126,8 +143,11 @@ struct PointResult
 
 /**
  * Declarative experiment grid: the cross product
- * networks x traffics x loads, each point repeated `repetitions`
- * times with independent derived seeds.
+ * networks x policies x traffics x loads, each point repeated
+ * `repetitions` times with independent derived seeds.  The policy
+ * axis is optional: an empty `policies` vector behaves exactly like
+ * the pre-policy grid (one implicit oblivious policy using `base`'s
+ * route_mode, labels stay "net/pattern").
  */
 struct ExperimentGrid
 {
@@ -142,8 +162,19 @@ struct ExperimentGrid
         std::string label;
         TrafficFactory make;
     };
+    /** One entry on the routing-policy axis. */
+    struct PolicySpec
+    {
+        std::string label;
+        ClosPolicy policy = ClosPolicy::kOblivious;
+        //! Replaces base.route_mode when override_mode is set, so one
+        //! grid can sweep minimal vs Valiant vs UGAL side by side.
+        RouteMode route_mode = RouteMode::kMinimal;
+        bool override_mode = false;
+    };
 
     std::vector<Network> networks;
+    std::vector<PolicySpec> policies;  //!< empty = implicit oblivious
     std::vector<Pattern> traffics;
     std::vector<double> loads;
     SimConfig base;        //!< template; load and seed set per point
@@ -151,6 +182,11 @@ struct ExperimentGrid
 
     ExperimentGrid &addNetwork(std::string label, const FoldedClos &fc,
                                const UpDownOracle &oracle);
+    /** Policy keeping base.route_mode (e.g. the UGAL family). */
+    ExperimentGrid &addPolicy(std::string label, ClosPolicy policy);
+    /** Policy that also pins the oblivious up-phase discipline. */
+    ExperimentGrid &addPolicy(std::string label, ClosPolicy policy,
+                              RouteMode mode);
     /** Pattern by makeTraffic() name. */
     ExperimentGrid &addTraffic(const std::string &name);
     ExperimentGrid &addTraffic(std::string label, TrafficFactory make);
@@ -160,14 +196,16 @@ struct ExperimentGrid
 
     std::size_t numPoints() const
     {
-        return networks.size() * traffics.size() * loads.size();
+        return networks.size() * std::max<std::size_t>(policies.size(), 1) *
+               traffics.size() * loads.size();
     }
 };
 
 /** Result of ExperimentGrid::run: points in grid declaration order. */
 struct GridResult
 {
-    std::vector<PointResult> points;  //!< net-major, traffic, load order
+    //! net-major, then policy (when the axis is used), traffic, load.
+    std::vector<PointResult> points;
     double wall_seconds = 0.0;        //!< engine wall clock for the run
     int jobs = 1;
 
@@ -252,6 +290,19 @@ class ExperimentEngine
 
 /** Convert a RunningStat snapshot into a MetricStat. */
 MetricStat toMetricStat(const RunningStat &s);
+
+/**
+ * Packet conservation audit for one open-loop run: every generated
+ * packet must end in exactly one terminal state, so
+ *
+ *   generated == suppressed + unroutable + queued_packets_end
+ *              + in_flight_packets + ejected_packets + dropped_packets
+ *
+ * Returns the (signed) imbalance; 0 on a healthy engine.  runPoints
+ * evaluates this for every trial and counts nonzero results in
+ * PointResult::conservation_violations.
+ */
+long long conservationGap(const SimResult &r);
 
 /**
  * Emit a grid result as a JSON document: run metadata (jobs, seed,

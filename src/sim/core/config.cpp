@@ -1,5 +1,6 @@
 #include "sim/core/config.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -45,6 +46,16 @@ SimConfig::validate() const
     if (telemetry_bin < 0)
         throw std::invalid_argument(
             "SimConfig: telemetry_bin must be >= 0");
+    // NaN fails the >= comparison too, but test both sides explicitly:
+    // a NaN threshold would otherwise silently disable the adaptive
+    // decision instead of being rejected.
+    if (std::isnan(ugal_threshold) || !(ugal_threshold >= 0.0) ||
+        std::isinf(ugal_threshold))
+        throw std::invalid_argument(
+            "SimConfig: ugal_threshold must be finite and >= 0");
+    if (flowlet_gap < 0)
+        throw std::invalid_argument(
+            "SimConfig: flowlet_gap must be >= 0");
     if (route_mode == RouteMode::kValiant && vcs < 2)
         throw std::invalid_argument("Valiant routing needs vcs >= 2 "
                                     "(phase-partitioned channels)");

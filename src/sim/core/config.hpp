@@ -108,6 +108,24 @@ struct SimConfig
     long long telemetry_bin = 0;
 
     /**
+     * UGAL bias of AdaptiveUpDownPolicy, in queue-slot x hop units:
+     * a packet routes minimally unless
+     *   backlog_min * hops_min > backlog_nonmin * hops_nonmin + ugal_threshold,
+     * so larger values bias toward minimal routing (0 = pure product
+     * comparison).  Must be finite and >= 0.
+     */
+    double ugal_threshold = 1.0;
+
+    /**
+     * Flowlet idle gap of the kFlowletEcmp path policy, in cycles: a
+     * (terminal, destination) flow keeps its path while consecutive
+     * injections are spaced less than this; after a longer idle gap
+     * the path is re-drawn.  0 degenerates to per-packet ECMP.  Must
+     * be >= 0.
+     */
+    long long flowlet_gap = 64;
+
+    /**
      * Cross-check mode for incremental oracle repair: after every
      * fault-timeline event the repaired tables are compared against a
      * freshly built oracle and a mismatch throws.  Expensive -
@@ -121,9 +139,11 @@ struct SimConfig
      * latency, empty measurement window (measure < 1, which is also
      * what a "warmup >= total cycles" misconfiguration reduces to),
      * negative warmup, load outside [0, 1], source_queue < 1, negative
-     * shard count, or sharded mode with link_latency < 1 (cross-shard
-     * arrivals are exchanged at end-of-cycle barriers, so a zero
-     * latency link cannot be modeled there).
+     * shard count, a ugal_threshold that is negative or not finite
+     * (NaN/inf), a negative flowlet_gap, or sharded mode with
+     * link_latency < 1 (cross-shard arrivals are exchanged at
+     * end-of-cycle barriers, so a zero latency link cannot be modeled
+     * there).
      */
     void validate() const;
 };

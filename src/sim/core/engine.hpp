@@ -12,35 +12,60 @@
  * routing Policy:
  *
  *   struct Policy {
- *     // payload: gen = birth cycle; noroute, wl_src and wl_tag are
- *     // engine-owned state (noroute marks a packet parked without a
- *     // route; wl_src/wl_tag carry the closed-loop workload routing
- *     // information to the ejection callback).
+ *     // Packet payload.  gen (birth cycle) plus the engine-owned
+ *     // fields listed below are mandatory; everything else is the
+ *     // policy's routing state.
  *     struct Pkt { std::int32_t gen; std::uint8_t noroute;
  *                  std::int32_t wl_src; std::uint32_t wl_tag; ... };
  *     bool routable(long long term, long long dest) const;
  *     // Injection VC for the head-of-queue packet, or -1 to retry
- *     // next cycle.  `credits` points at the terminal's per-VC
+ *     // next cycle.  `cv.injCredits(term)` is the terminal's per-VC
  *     // credit row.  May draw from rng (Valiant intermediate pick,
  *     // credit tie-breaks) and stash state for initPacket.
- *     int injectVc(const std::int8_t *credits, long long term,
+ *     int injectVc(const CongestionView &cv, long long term,
  *                  std::int32_t dest, Rng &rng);
  *     void initPacket(Pkt &p, long long term, std::int32_t dest,
  *                     Rng &rng);
  *     // Local output port at switch s, or -1 (unroutable).  Sets
  *     // fixed_vc >= 0 when exactly one output VC is legal
  *     // (hop-escalating VCs), or -1 when any VC in vcRange works.
- *     int routeOut(int s, Pkt &p, Rng &rng, int &fixed_vc);
+ *     int routeOut(const CongestionView &cv, int s, Pkt &p, Rng &rng,
+ *                  int &fixed_vc);
  *     void vcRange(const Pkt &p, int &lo, int &hi) const;
- *     // Output VC among those with credit, or -1 (blocked).
- *     int chooseOutVc(const std::int16_t *credits, const Pkt &p,
- *                     Rng &rng);
+ *     // Output VC among those with credit on out port o_gid
+ *     // (cv.credit(o_gid, v)), or -1 (blocked).
+ *     int chooseOutVc(const CongestionView &cv, std::int64_t o_gid,
+ *                     const Pkt &p, Rng &rng);
  *     void onForward(Pkt &p);          // per-hop bookkeeping
  *     double hopsOf(const Pkt &p) const;
  *     // Invalidate routing caches after a cycle hook mutated the
  *     // routing tables (runtime link fail/repair).
  *     void onTopologyChange();
  *   };
+ *
+ * The CongestionView (sim/core/congestion.hpp) passed at the three
+ * decision points is a read-only, shard-local window over credits,
+ * queue depths and busy times; its header documents exactly which
+ * state a policy may read from which call.  Oblivious policies ignore
+ * it; adaptive policies (policy_adaptive.hpp, policy_flowlet.hpp)
+ * steer by it.
+ *
+ * Engine-owned Pkt fields - the one convention every policy's Pkt
+ * must carry verbatim (policies reference this block rather than
+ * re-documenting it):
+ *
+ *   std::int32_t gen;      birth cycle, set at injection; latency and
+ *                          TTL accounting key off it.
+ *   std::uint8_t noroute;  1 while the packet is parked without a
+ *                          route (runtime fault); the engine sets and
+ *                          clears it around routeOut() == -1.
+ *   std::int32_t wl_src;   source terminal, for the closed-loop
+ *                          workload's ejection callback.
+ *   std::uint32_t wl_tag;  workload message tag riding with the
+ *                          packet to the same callback.
+ *
+ * Policies never read or write these four; they only make room for
+ * them.
  *
  * Policies must be copyable: sharded execution clones one instance
  * per shard so that routing scratch buffers never cross threads.
@@ -82,6 +107,7 @@
 
 #include "check/guard.hpp"
 #include "sim/core/config.hpp"
+#include "sim/core/congestion.hpp"
 #include "sim/core/histogram.hpp"
 #include "sim/core/layout.hpp"
 #include "sim/traffic.hpp"
@@ -347,6 +373,22 @@ class VctEngine
 
     // ---- shared per-cycle machinery --------------------------------
     int shardOfSwitch(int s) const { return sw_shard_[s]; }
+
+    /**
+     * Materialize the policy-facing congestion window for cycle
+     * @p now.  A handful of pointers into the SoA arrays (which never
+     * reallocate after buildStructures), so building one per decision
+     * site is free; shard-locality of the reads is the policy's
+     * contract (see congestion.hpp).
+     */
+    CongestionView
+    view(long long now) const
+    {
+        return CongestionView(lay_, cfg_.vcs, cfg_.buf_packets,
+                              out_credits_.data(), inj_credits_.data(),
+                              q_count_.data(), out_busy_.data(),
+                              in_busy_.data(), now);
+    }
 
     void
     scheduleRelease(ShardCtx &c, long long at, std::int32_t feeder, int vc)
@@ -841,6 +883,7 @@ VctEngine<Policy>::processInjection(ShardCtx &c, long long now)
     if (slot.empty())
         return;
     const int V = cfg_.vcs;
+    const CongestionView cv = view(now);
     for (std::int32_t t : slot) {
         inj_scheduled_[t] = 0;
         if (sq_count_[t] == 0)
@@ -852,9 +895,7 @@ VctEngine<Policy>::processInjection(ShardCtx &c, long long now)
         std::int64_t base =
             static_cast<std::int64_t>(t) * cfg_.source_queue;
         std::int32_t dest = src_dest_[base + sq_head_[t]];
-        int best_vc = c.policy.injectVc(
-            &inj_credits_[static_cast<std::int64_t>(t) * V], t, dest,
-            c.rng);
+        int best_vc = c.policy.injectVc(cv, t, dest, c.rng);
         if (best_vc < 0) {
             scheduleInjection(c, t, now + 1);
             continue;
@@ -1104,7 +1145,7 @@ VctEngine<Policy>::commitCandidate(ShardCtx &c, std::int64_t gi,
     std::int64_t peer = out_peer_ivc_base_[o_gid];
     int out_vc = -1;
     if (peer >= 0) {
-        out_vc = c.policy.chooseOutVc(&out_credits_[o_gid * V], p, c.rng);
+        out_vc = c.policy.chooseOutVc(view(now), o_gid, p, c.rng);
         if (out_vc < 0) {
             ++c.perf.credit_stalls;
             return false;
@@ -1188,6 +1229,7 @@ VctEngine<Policy>::arbitrateSwitchLegacy(ShardCtx &c, int s, long long now)
     const std::int64_t base_port = lay_.iport_off[s];
     c.touched_outs.clear();
     ++c.perf.switch_scans;
+    const CongestionView cv = view(now);
 
     // Scan phase: pick one random candidate per free output.
     for (std::uint16_t local : nonempty_[s]) {
@@ -1200,7 +1242,7 @@ VctEngine<Policy>::arbitrateSwitchLegacy(ShardCtx &c, int s, long long now)
             continue;
         Pkt &p = pkt(head.pkt);
         int fixed_vc = -1;
-        int o_local = c.policy.routeOut(s, p, c.rng, fixed_vc);
+        int o_local = c.policy.routeOut(cv, s, p, c.rng, fixed_vc);
         if (o_local < 0) {
             // No route from here (runtime fault): park, or drop once
             // older than the TTL.  Dropping is deferred past the
@@ -1287,6 +1329,7 @@ VctEngine<Policy>::arbitrateShard(ShardCtx &c, long long now)
         return;
     c.touched_outs.clear();
     c.scanned_ivcs.clear();
+    const CongestionView cv = view(now);
 
     // Scan phase over the input VCs due this cycle.
     for (std::int64_t gi : slot) {
@@ -1308,7 +1351,7 @@ VctEngine<Policy>::arbitrateShard(ShardCtx &c, long long now)
         int s = lay_.port_owner[iport];
         Pkt &p = pkt(head.pkt);
         int fixed_vc = -1;
-        int o_local = c.policy.routeOut(s, p, c.rng, fixed_vc);
+        int o_local = c.policy.routeOut(cv, s, p, c.rng, fixed_vc);
         if (o_local < 0) {
             // No route from here (runtime fault): retry next cycle
             // against the (possibly repaired) tables, or drop once the

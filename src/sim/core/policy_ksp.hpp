@@ -15,6 +15,7 @@
 #include "graph/graph.hpp"
 #include "routing/ksp_tables.hpp"
 #include "sim/core/config.hpp"
+#include "sim/core/congestion.hpp"
 #include "sim/core/layout.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +26,14 @@ enum class PathPolicy
 {
     kShortestEcmp,  //!< uniform among minimal-length paths
     kAllKsp,        //!< uniform among all k stored paths
+    /**
+     * Flowlet-switching ECMP: a shortest path is drawn per *flowlet*
+     * rather than per packet - consecutive packets of a (terminal,
+     * destination) flow reuse one path until the flow has been idle
+     * for SimConfig::flowlet_gap cycles, then the path is re-drawn.
+     * Served by FlowletKspPolicy (policy_flowlet.hpp).
+     */
+    kFlowletEcmp,
 };
 
 class KspPolicy
@@ -32,15 +41,18 @@ class KspPolicy
   public:
     struct Pkt
     {
+        // gen, noroute, wl_src and wl_tag are engine-owned: see the
+        // "Engine-owned Pkt fields" convention atop sim/core/engine.hpp.
         std::int32_t gen;
+        std::uint8_t noroute;
+        std::int32_t wl_src;
+        std::uint32_t wl_tag;
+        // Policy routing state.
         const Path *path;        //!< chosen at injection (null = local)
         std::int32_t dest_sw;    //!< destination switch
         std::int16_t dest_local; //!< terminal index at dest_sw
         std::int16_t hop;        //!< links crossed so far
         std::int16_t cur_out;    //!< resolved out port (-1 = not yet)
-        std::uint8_t noroute;    //!< engine-owned: parked without a route
-        std::int32_t wl_src;     //!< engine-owned: source terminal
-        std::uint32_t wl_tag;    //!< engine-owned: workload message tag
     };
 
     KspPolicy(const Graph &g, const KspRoutes &routes,
@@ -59,14 +71,13 @@ class KspPolicy
     }
 
     int
-    injectVc(const std::int8_t *credits, long long term,
+    injectVc(const CongestionView &cv, long long term,
              std::int32_t dest, Rng &rng)
     {
-        (void)term;
         (void)dest;
         (void)rng;
         // Injection always targets VC 0 (a packet with 0 hops crossed).
-        return credits[0] > 0 ? 0 : -1;
+        return cv.injCredit(term, 0) > 0 ? 0 : -1;
     }
 
     void
@@ -86,8 +97,10 @@ class KspPolicy
     }
 
     int
-    routeOut(int s, Pkt &p, Rng &rng, int &fixed_vc)
+    routeOut(const CongestionView &cv, int s, Pkt &p, Rng &rng,
+             int &fixed_vc)
     {
+        (void)cv;  // oblivious: the path was fixed at injection
         (void)rng;
         fixed_vc = -1;
         if (s == p.dest_sw)
@@ -115,11 +128,12 @@ class KspPolicy
     }
 
     int
-    chooseOutVc(const std::int16_t *credits, const Pkt &p, Rng &rng)
+    chooseOutVc(const CongestionView &cv, std::int64_t o_gid,
+                const Pkt &p, Rng &rng)
     {
         (void)rng;
         int out_vc = std::min<int>(p.hop, vcs_ - 1);
-        return credits[out_vc] > 0 ? out_vc : -1;
+        return cv.credit(o_gid, out_vc) > 0 ? out_vc : -1;
     }
 
     void

@@ -20,6 +20,7 @@
 #include "clos/folded_clos.hpp"
 #include "routing/updown.hpp"
 #include "sim/core/config.hpp"
+#include "sim/core/congestion.hpp"
 #include "sim/core/layout.hpp"
 #include "util/rng.hpp"
 
@@ -30,15 +31,18 @@ class UpDownPolicy
   public:
     struct Pkt
     {
+        // gen, noroute, wl_src and wl_tag are engine-owned: see the
+        // "Engine-owned Pkt fields" convention atop sim/core/engine.hpp.
         std::int32_t gen;
+        std::uint8_t noroute;
+        std::int32_t wl_src;
+        std::uint32_t wl_tag;
+        // Policy routing state.
         std::int32_t dest_leaf;
         std::int16_t dest_local;
         std::int16_t hops;
         std::int32_t inter_leaf;  //!< Valiant intermediate (-1 = none)
         std::int8_t phase;        //!< 0 = toward intermediate, 1 = final
-        std::uint8_t noroute;     //!< engine-owned: parked without a route
-        std::int32_t wl_src;      //!< engine-owned: source terminal
-        std::uint32_t wl_tag;     //!< engine-owned: workload message tag
     };
 
     UpDownPolicy(const FoldedClos &fc, const UpDownOracle &oracle,
@@ -56,9 +60,10 @@ class UpDownPolicy
     }
 
     int
-    injectVc(const std::int8_t *credits, long long term,
+    injectVc(const CongestionView &cv, long long term,
              std::int32_t dest, Rng &rng)
     {
+        const std::int8_t *credits = cv.injCredits(term);
         // Valiant set-up: pick a random routable intermediate leaf
         // before choosing the injection VC (the VC range depends on
         // the packet's phase).
@@ -119,8 +124,10 @@ class UpDownPolicy
     }
 
     int
-    routeOut(int s, Pkt &p, Rng &rng, int &fixed_vc)
+    routeOut(const CongestionView &cv, int s, Pkt &p, Rng &rng,
+             int &fixed_vc)
     {
+        (void)cv;  // oblivious: the choice never reads congestion
         fixed_vc = -1;
         if (p.phase == 0 && s == p.inter_leaf)
             p.phase = 1;  // Valiant intermediate reached: head for dest
@@ -164,7 +171,8 @@ class UpDownPolicy
     }
 
     int
-    chooseOutVc(const std::int16_t *credits, const Pkt &p, Rng &rng)
+    chooseOutVc(const CongestionView &cv, std::int64_t o_gid,
+                const Pkt &p, Rng &rng)
     {
         // Random VC among those with credit, within the packet's
         // allowed range.
@@ -172,7 +180,7 @@ class UpDownPolicy
         vcRange(p, vc_lo, vc_hi);
         int out_vc = -1, seen = 0;
         for (int v = vc_lo; v < vc_hi; ++v) {
-            if (credits[v] > 0) {
+            if (cv.credit(o_gid, v) > 0) {
                 ++seen;
                 if (rng.uniform(seen) == 0)
                     out_vc = v;
@@ -191,6 +199,62 @@ class UpDownPolicy
      * refill lazily from the repaired oracle.
      */
     void onTopologyChange() { memo_.clear(); }
+
+    // ---- adaptive-wrapper hooks ------------------------------------
+    // AdaptiveUpDownPolicy (policy_adaptive.hpp) reuses this policy's
+    // memoized route machinery; these three accessors are its whole
+    // interface into it.
+
+    /**
+     * Override the injection-time Valiant decision for the next
+     * initPacket: @p inter = intermediate leaf (-1 = route minimal),
+     * @p phase = starting phase.  The adaptive wrapper makes the
+     * minimal-vs-nonminimal call itself and plants the result here.
+     */
+    void
+    setPendingValiant(std::int32_t inter, std::int8_t phase)
+    {
+        pending_inter_ = inter;
+        pending_phase_ = phase;
+    }
+
+    /** Minimal up-hops from switch @p s to leaf @p target (-1 = none). */
+    int minUpsTo(int s, int target) { return needFor(s, target); }
+
+    /**
+     * First-hop congestion probe: the smallest backlog() over the
+     * feasible next-hop out ports from switch @p s toward leaf
+     * @p target (the queue a packet would join under the best draw),
+     * or -1 when the target is unreachable.  Shard-local: only reads
+     * out-port credits of @p s itself.
+     */
+    int
+    bestBacklog(const CongestionView &cv, int s, int target)
+    {
+        if (s == target)
+            return 0;
+        const ChoiceEntry &e = entryFor(s, target);
+        if (e.need < 0 || e.count == 0)
+            return -1;
+        const std::int64_t base = cv.portBase(s);
+        const std::int64_t off = e.need == 0 ? lay_->n_up[s] : 0;
+        int best = -1;
+        if (e.count == kWideFallback) {
+            fillScratchWide(s, target, e.need);
+            for (int p : choice_scratch_) {
+                int b = cv.backlog(base + off + p);
+                if (best < 0 || b < best)
+                    best = b;
+            }
+            return best;
+        }
+        for (std::uint64_t m = e.mask; m != 0; m &= m - 1) {
+            int b = cv.backlog(base + off + __builtin_ctzll(m));
+            if (best < 0 || b < best)
+                best = b;
+        }
+        return best;
+    }
 
   private:
     /**
@@ -264,21 +328,25 @@ class UpDownPolicy
             e.mask |= std::uint64_t{1} << i;
     }
 
+    //! Refill choice_scratch_ for a choice set too wide for the mask.
+    void
+    fillScratchWide(int s, int target, int need)
+    {
+        if (need == 0)
+            oracle_->downChoices(*fc_, s, target, choice_scratch_);
+        else if (mode_ == RouteMode::kUpDownRandom)
+            oracle_->feasibleUpChoices(*fc_, s, target, choice_scratch_);
+        else
+            oracle_->upChoices(*fc_, s, target, choice_scratch_);
+    }
+
     //! Slow path for radices beyond the 64-bit mask (rare).
     int
     routeOutWide(int s, int target, int need, Rng &rng)
     {
-        if (need == 0) {
-            oracle_->downChoices(*fc_, s, target, choice_scratch_);
-            int pick =
-                choice_scratch_[rng.uniform(choice_scratch_.size())];
-            return lay_->n_up[s] + pick;
-        }
-        if (mode_ == RouteMode::kUpDownRandom)
-            oracle_->feasibleUpChoices(*fc_, s, target, choice_scratch_);
-        else
-            oracle_->upChoices(*fc_, s, target, choice_scratch_);
-        return choice_scratch_[rng.uniform(choice_scratch_.size())];
+        fillScratchWide(s, target, need);
+        int pick = choice_scratch_[rng.uniform(choice_scratch_.size())];
+        return need == 0 ? lay_->n_up[s] + pick : pick;
     }
 
     const FoldedClos *fc_;

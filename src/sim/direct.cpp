@@ -20,9 +20,16 @@ DirectSimulator::DirectSimulator(const Graph &g, const KspRoutes &routes,
             "DirectSimulator: hop-escalating deadlock freedom needs "
             "vcs >= max path hops (" +
             std::to_string(routes.maxHops()) + ")");
-    engine_ = std::make_unique<VctEngine<KspPolicy>>(
-        layout_, traffic, cfg,
-        KspPolicy(g, routes, layout_, cfg, hosts_per_switch, policy));
+    if (policy == PathPolicy::kFlowletEcmp)
+        engine_ = std::make_unique<EngineHolder<FlowletKspPolicy>>(
+            layout_, traffic, cfg,
+            FlowletKspPolicy(g, routes, layout_, cfg,
+                             hosts_per_switch));
+    else
+        engine_ = std::make_unique<EngineHolder<KspPolicy>>(
+            layout_, traffic, cfg,
+            KspPolicy(g, routes, layout_, cfg, hosts_per_switch,
+                      policy));
 }
 
 } // namespace rfc

@@ -32,6 +32,7 @@
 #include "sim/core/config.hpp"
 #include "sim/core/engine.hpp"
 #include "sim/core/layout.hpp"
+#include "sim/core/policy_flowlet.hpp"
 #include "sim/core/policy_ksp.hpp"
 #include "sim/traffic.hpp"
 
@@ -46,6 +47,9 @@ class DirectSimulator
      * pattern; all must outlive the simulator.
      *
      * @param hosts_per_switch Terminals attached to every switch.
+     * @param policy Path selection at injection: per-packet ECMP /
+     *        all-k / flowlet-switching ECMP (kFlowletEcmp runs
+     *        FlowletKspPolicy with SimConfig::flowlet_gap).
      * @throws std::invalid_argument if cfg.vcs < routes.maxHops()
      *         (hop-escalating VCs could not guarantee deadlock
      *         freedom).
@@ -69,8 +73,35 @@ class DirectSimulator
     }
 
   private:
+    /** Policy-erased engine handle (see Simulator::EngineBase). */
+    struct EngineBase
+    {
+        virtual ~EngineBase() = default;
+        virtual SimResult run() = 0;
+        virtual const CheckContext &checkContext() const = 0;
+    };
+
+    template <class Policy>
+    struct EngineHolder final : EngineBase
+    {
+        VctEngine<Policy> e;
+
+        EngineHolder(const FabricLayout &lay, Traffic &tr, SimConfig cfg,
+                     Policy p)
+            : e(lay, tr, std::move(cfg), std::move(p))
+        {
+        }
+
+        SimResult run() override { return e.run(); }
+        const CheckContext &
+        checkContext() const override
+        {
+            return e.checkContext();
+        }
+    };
+
     FabricLayout layout_;  //!< must outlive engine_
-    std::unique_ptr<VctEngine<KspPolicy>> engine_;
+    std::unique_ptr<EngineBase> engine_;
 };
 
 } // namespace rfc

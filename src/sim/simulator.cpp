@@ -6,14 +6,36 @@
 
 namespace rfc {
 
+void
+Simulator::makeEngine(const FoldedClos &fc, const UpDownOracle &oracle,
+                      Traffic &traffic, const SimConfig &config)
+{
+    switch (policy_) {
+    case ClosPolicy::kOblivious:
+        engine_ = std::make_unique<EngineHolder<UpDownPolicy>>(
+            layout_, traffic, config,
+            UpDownPolicy(fc, oracle, layout_, config));
+        return;
+    case ClosPolicy::kAdaptiveUgal:
+        if (config.vcs < 2)
+            throw std::invalid_argument(
+                "Simulator: UGAL adaptive routing needs vcs >= 2 "
+                "(phase-partitioned channels)");
+        engine_ = std::make_unique<EngineHolder<AdaptiveUpDownPolicy>>(
+            layout_, traffic, config,
+            AdaptiveUpDownPolicy(fc, oracle, layout_, config));
+        return;
+    }
+    throw std::invalid_argument("Simulator: unknown ClosPolicy");
+}
+
 Simulator::Simulator(const FoldedClos &fc, const UpDownOracle &oracle,
-                     Traffic &traffic, SimConfig config)
-    : layout_(FabricLayout::fromFoldedClos(fc))
+                     Traffic &traffic, SimConfig config,
+                     ClosPolicy policy)
+    : layout_(FabricLayout::fromFoldedClos(fc)), policy_(policy)
 {
     config.validate();
-    engine_ = std::make_unique<VctEngine<UpDownPolicy>>(
-        layout_, traffic, config,
-        UpDownPolicy(fc, oracle, layout_, config));
+    makeEngine(fc, oracle, traffic, config);
 }
 
 Simulator::FaultRuntime::FaultRuntime(const FoldedClos &topo,
@@ -48,15 +70,14 @@ Simulator::FaultRuntime::apply(long long now)
 }
 
 Simulator::Simulator(const FoldedClos &fc, Traffic &traffic,
-                     SimConfig config, const FaultTimeline &timeline)
-    : layout_(FabricLayout::fromFoldedClos(fc))
+                     SimConfig config, const FaultTimeline &timeline,
+                     ClosPolicy policy)
+    : layout_(FabricLayout::fromFoldedClos(fc)), policy_(policy)
 {
     config.validate();
     faults_ = std::make_unique<FaultRuntime>(fc, timeline,
                                              config.fault_crosscheck);
-    engine_ = std::make_unique<VctEngine<UpDownPolicy>>(
-        layout_, traffic, config,
-        UpDownPolicy(fc, faults_->oracle, layout_, config));
+    makeEngine(fc, faults_->oracle, traffic, config);
     std::vector<long long> cycles;
     cycles.reserve(timeline.size());
     for (const FaultEvent &e : timeline.events())

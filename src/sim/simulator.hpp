@@ -41,10 +41,30 @@
 #include "sim/core/config.hpp"
 #include "sim/core/engine.hpp"
 #include "sim/core/layout.hpp"
+#include "sim/core/policy_adaptive.hpp"
 #include "sim/core/policy_updown.hpp"
 #include "sim/traffic.hpp"
 
 namespace rfc {
+
+/**
+ * Routing-policy family of a folded Clos run.  Orthogonal to
+ * SimConfig::route_mode, which tunes the oblivious policy's up-phase
+ * discipline (minimal / any-feasible / Valiant); this selects *which*
+ * VctEngine policy runs.
+ */
+enum class ClosPolicy
+{
+    /** Oblivious up/down ECMP (UpDownPolicy), the paper's routing. */
+    kOblivious,
+    /**
+     * UGAL-style adaptive routing (AdaptiveUpDownPolicy): per-packet
+     * minimal vs. Valiant-detour choice at injection by queue-depth x
+     * hop-count products (SimConfig::ugal_threshold).  Needs vcs >= 2
+     * (phase-partitioned channels); route_mode is ignored.
+     */
+    kAdaptiveUgal,
+};
 
 /** One network simulation instance. */
 class Simulator
@@ -52,10 +72,12 @@ class Simulator
   public:
     /**
      * Bind a simulator to a topology, its routing oracle and a traffic
-     * pattern.  All three must outlive the simulator.
+     * pattern.  All three must outlive the simulator.  @p policy
+     * selects the routing-policy family (oblivious by default).
      */
     Simulator(const FoldedClos &fc, const UpDownOracle &oracle,
-              Traffic &traffic, SimConfig config);
+              Traffic &traffic, SimConfig config,
+              ClosPolicy policy = ClosPolicy::kOblivious);
 
     /**
      * Fault-injection run: bind a FaultTimeline whose link fail/repair
@@ -68,7 +90,8 @@ class Simulator
      * must outlive the simulator; the timeline is copied.
      */
     Simulator(const FoldedClos &fc, Traffic &traffic, SimConfig config,
-              const FaultTimeline &timeline);
+              const FaultTimeline &timeline,
+              ClosPolicy policy = ClosPolicy::kOblivious);
 
     /** Run warm-up plus measurement and return the metrics. */
     SimResult run() { return engine_->run(); }
@@ -91,6 +114,9 @@ class Simulator
     {
         return engine_->checkContext();
     }
+
+    /** The active routing-policy family. */
+    ClosPolicy policy() const { return policy_; }
 
     /**
      * The simulator-owned oracle of a fault run (null for fault-free
@@ -116,9 +142,56 @@ class Simulator
         void apply(long long now);
     };
 
+    /**
+     * Policy-erased engine handle.  The virtual hop is once per call
+     * to run()/setWorkload()/setCycleHook() - never per cycle; inside,
+     * VctEngine<Policy> is the same fully inlined compile-time
+     * instantiation as before.
+     */
+    struct EngineBase
+    {
+        virtual ~EngineBase() = default;
+        virtual SimResult run() = 0;
+        virtual void setWorkload(Workload *wl) = 0;
+        virtual void setCycleHook(std::vector<long long> cycles,
+                                  std::function<void(long long)> hook) = 0;
+        virtual const CheckContext &checkContext() const = 0;
+    };
+
+    template <class Policy>
+    struct EngineHolder final : EngineBase
+    {
+        VctEngine<Policy> e;
+
+        EngineHolder(const FabricLayout &lay, Traffic &tr, SimConfig cfg,
+                     Policy p)
+            : e(lay, tr, std::move(cfg), std::move(p))
+        {
+        }
+
+        SimResult run() override { return e.run(); }
+        void setWorkload(Workload *wl) override { e.setWorkload(wl); }
+        void
+        setCycleHook(std::vector<long long> cycles,
+                     std::function<void(long long)> hook) override
+        {
+            e.setCycleHook(std::move(cycles), std::move(hook));
+        }
+        const CheckContext &
+        checkContext() const override
+        {
+            return e.checkContext();
+        }
+    };
+
+    /** Build the policy-selected engine (shared by both ctors). */
+    void makeEngine(const FoldedClos &fc, const UpDownOracle &oracle,
+                    Traffic &traffic, const SimConfig &config);
+
     FabricLayout layout_;  //!< must outlive engine_
     std::unique_ptr<FaultRuntime> faults_;  //!< must outlive engine_
-    std::unique_ptr<VctEngine<UpDownPolicy>> engine_;
+    ClosPolicy policy_ = ClosPolicy::kOblivious;
+    std::unique_ptr<EngineBase> engine_;
 };
 
 } // namespace rfc

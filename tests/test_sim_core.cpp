@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "clos/fat_tree.hpp"
@@ -62,6 +63,18 @@ TEST(SimConfigValidate, RejectsBadParameters)
     });
     broken([](SimConfig &c) { c.telemetry_bin = -1; });
     broken([](SimConfig &c) { c.route_ttl = -1; });
+    // Adaptive-policy knobs: the UGAL bias must be a usable number
+    // (the comparison q_min*h_min <= q_val*h_val + threshold would
+    // silently never/always detour on NaN/inf) and the flowlet idle
+    // gap a non-negative cycle count (0 = per-packet ECMP is legal).
+    broken([](SimConfig &c) { c.ugal_threshold = -0.5; });
+    broken([](SimConfig &c) {
+        c.ugal_threshold = std::numeric_limits<double>::quiet_NaN();
+    });
+    broken([](SimConfig &c) {
+        c.ugal_threshold = std::numeric_limits<double>::infinity();
+    });
+    broken([](SimConfig &c) { c.flowlet_gap = -1; });
 }
 
 TEST(SimConfigValidate, ConstructorsValidate)
@@ -301,6 +314,100 @@ TEST(ShardedSim, MatchesLegacyAggregates)
 TEST(ShardedSim, RejectsMoreShardsThanSwitches)
 {
     EXPECT_THROW(runCft(1000, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Adaptive policies under the same determinism contract
+// ---------------------------------------------------------------------
+
+SimResult
+runCftUgal(int shards, int jobs)
+{
+    auto fc = buildCft(8, 3);
+    UpDownOracle oracle(fc);
+    ShiftTraffic traffic(fc.terminalsPerLeaf());  // adversarial shift
+    SimConfig cfg;
+    cfg.warmup = 300;
+    cfg.measure = 1200;
+    cfg.load = 0.9;
+    cfg.seed = 23;
+    cfg.shards = shards;
+    cfg.jobs = jobs;
+    Simulator sim(fc, oracle, traffic, cfg, ClosPolicy::kAdaptiveUgal);
+    return sim.run();
+}
+
+SimResult
+runDirectFlowlet(int shards, int jobs, long long gap = 64)
+{
+    Rng grng(6);
+    Graph g = randomRegularGraph(16, 4, grng);
+    KspRoutes routes(g, 4);
+    UniformTraffic traffic;
+    SimConfig cfg;
+    cfg.warmup = 300;
+    cfg.measure = 1200;
+    cfg.load = 0.6;
+    cfg.seed = 24;
+    cfg.vcs = std::max(6, routes.maxHops());
+    cfg.shards = shards;
+    cfg.jobs = jobs;
+    cfg.flowlet_gap = gap;
+    DirectSimulator sim(g, routes, 2, traffic, cfg,
+                        PathPolicy::kFlowletEcmp);
+    return sim.run();
+}
+
+TEST(AdaptivePolicies, UgalBitIdenticalAcrossJobs)
+{
+    // The UGAL decision reads the CongestionView, but only shard-local
+    // state - so it must stay bit-identical across thread counts like
+    // every policy.
+    SimResult one = runCftUgal(4, 1);
+    SimResult four = runCftUgal(4, 4);
+    expectSameResult(one, four);
+    EXPECT_GT(one.delivered_packets, 0);
+}
+
+TEST(AdaptivePolicies, UgalRunsInLegacyMode)
+{
+    SimResult legacy = runCftUgal(0, 1);
+    EXPECT_GT(legacy.delivered_packets, 0);
+    EXPECT_GT(legacy.accepted, 0.0);
+}
+
+TEST(AdaptivePolicies, UgalNeedsTwoVcs)
+{
+    auto fc = buildCft(8, 2);
+    UpDownOracle oracle(fc);
+    UniformTraffic traffic;
+    SimConfig cfg;
+    cfg.vcs = 1;
+    EXPECT_THROW(Simulator(fc, oracle, traffic, cfg,
+                           ClosPolicy::kAdaptiveUgal),
+                 std::invalid_argument);
+}
+
+TEST(AdaptivePolicies, FlowletBitIdenticalAcrossJobs)
+{
+    // Flowlet state is keyed by source terminal and terminals are
+    // shard-owned, so the per-shard maps never race and the result
+    // only depends on the shard count.
+    SimResult one = runDirectFlowlet(3, 1);
+    SimResult three = runDirectFlowlet(3, 3);
+    expectSameResult(one, three);
+    EXPECT_GT(one.delivered_packets, 0);
+}
+
+TEST(AdaptivePolicies, FlowletGapZeroIsPerPacketEcmp)
+{
+    // gap = 0 means "idle >= 0 cycles", which is true for every
+    // packet: each one re-draws, i.e. plain per-packet ECMP.  The two
+    // engines consume RNG draws differently, so compare statistically.
+    SimResult ecmp = runDirect(0, 1);
+    SimResult gap0 = runDirectFlowlet(0, 1, 0);
+    EXPECT_GT(gap0.delivered_packets, 0);
+    EXPECT_NEAR(gap0.accepted, ecmp.accepted, 0.15 * ecmp.accepted);
 }
 
 } // namespace
