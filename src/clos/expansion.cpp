@@ -1,7 +1,9 @@
 #include "clos/expansion.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
+#include <utility>
 
 namespace rfc {
 
@@ -36,10 +38,25 @@ grow(const FoldedClos &fc)
     return out;
 }
 
-} // namespace
+/**
+ * Stage observer of the shared rewiring routine: called once per
+ * (step, level pair) with the chosen donor links and the new-switch
+ * slot assignments, *before* they are applied - all in the current
+ * step's switch numbering.
+ */
+using StageObserver = std::function<void(
+    const FoldedClos &cur, int step, int lv,
+    const std::vector<ClosLink> &chosen, const std::vector<int> &uppers,
+    const std::vector<int> &lowers)>;
 
+/**
+ * The one rewiring routine behind strongExpand and ExpansionPlan.  The
+ * RNG call sequence is part of the reproducibility contract: adding
+ * the observer must not change a single draw.
+ */
 ExpansionResult
-strongExpand(const FoldedClos &fc, int steps, Rng &rng)
+strongExpandImpl(const FoldedClos &fc, int steps, Rng &rng,
+                 const StageObserver *observe)
 {
     if (fc.levels() < 2)
         throw std::invalid_argument("strongExpand: need >= 2 levels");
@@ -130,6 +147,9 @@ strongExpand(const FoldedClos &fc, int steps, Rng &rng)
             if (!done)
                 throw std::runtime_error("strongExpand: rewire failed");
 
+            if (observe)
+                (*observe)(cur, step, lv, chosen, uppers, lowers);
+
             for (int i = 0; i < 2 * m; ++i) {
                 cur.removeLink(chosen[i].lower, chosen[i].upper);
                 cur.addLink(chosen[i].lower, uppers[i]);
@@ -142,6 +162,270 @@ strongExpand(const FoldedClos &fc, int steps, Rng &rng)
             2LL * res.topology.terminalsPerLeaf();
     }
     return res;
+}
+
+} // namespace
+
+ExpansionResult
+strongExpand(const FoldedClos &fc, int steps, Rng &rng)
+{
+    return strongExpandImpl(fc, steps, rng, nullptr);
+}
+
+// ======================================================================
+// ExpansionPlan
+// ======================================================================
+
+ExpansionPlan::ExpansionPlan(const FoldedClos &base, int steps, Rng &rng)
+    : base_(base), steps_(steps)
+{
+    if (steps < 1)
+        throw std::invalid_argument("ExpansionPlan: steps must be >= 1");
+
+    // Final level counts are known up front, so every stage can be
+    // recorded directly in the final numbering: a switch's position
+    // within its level never changes (new switches append at the end).
+    std::vector<int> final_off(static_cast<std::size_t>(base.levels()) +
+                               1);
+    {
+        int off = 0;
+        for (int lv = 1; lv <= base.levels(); ++lv) {
+            final_off[static_cast<std::size_t>(lv)] = off;
+            off += base.switchesAtLevel(lv) +
+                   steps * (lv == base.levels() ? 1 : 2);
+        }
+    }
+    auto to_final = [&](const FoldedClos &cur, int s) {
+        int lv = cur.levelOf(s);
+        return final_off[static_cast<std::size_t>(lv)] +
+               (s - cur.levelOffset(lv));
+    };
+
+    StageObserver observe = [&](const FoldedClos &cur, int step, int lv,
+                                const std::vector<ClosLink> &chosen,
+                                const std::vector<int> &uppers,
+                                const std::vector<int> &lowers) {
+        ExpansionStage st;
+        st.step = step;
+        st.level = lv;
+        st.ops.reserve(chosen.size());
+        for (std::size_t i = 0; i < chosen.size(); ++i) {
+            RewireOp op;
+            op.removed = {to_final(cur, chosen[i].lower),
+                          to_final(cur, chosen[i].upper)};
+            op.added_up = {op.removed.lower, to_final(cur, uppers[i])};
+            op.added_down = {to_final(cur, lowers[i]), op.removed.upper};
+            st.ops.push_back(op);
+        }
+        stages_.push_back(std::move(st));
+    };
+
+    ExpansionResult res = strongExpandImpl(base, steps, rng, &observe);
+    final_ = std::move(res.topology);
+    rewired_ = res.rewired;
+    added_terminals_ = res.added_terminals;
+
+    new_switches_.resize(static_cast<std::size_t>(steps));
+    for (int k = 0; k < steps; ++k) {
+        auto &list = new_switches_[static_cast<std::size_t>(k)];
+        for (int lv = 1; lv <= base.levels(); ++lv) {
+            const int base_count = base.switchesAtLevel(lv);
+            const int off = final_off[static_cast<std::size_t>(lv)];
+            if (lv == base.levels()) {
+                list.push_back(off + base_count + k);
+            } else {
+                list.push_back(off + base_count + 2 * k);
+                list.push_back(off + base_count + 2 * k + 1);
+            }
+        }
+    }
+}
+
+FoldedClos
+ExpansionPlan::preStaged() const
+{
+    std::vector<int> counts(static_cast<std::size_t>(final_.levels()));
+    for (int lv = 1; lv <= final_.levels(); ++lv)
+        counts[static_cast<std::size_t>(lv - 1)] =
+            final_.switchesAtLevel(lv);
+    FoldedClos out(counts, base_.radix(), base_.terminalsPerLeaf(),
+                   base_.name());
+    auto remap = [&](int s) {
+        int lv = base_.levelOf(s);
+        return out.levelOffset(lv) + (s - base_.levelOffset(lv));
+    };
+    for (int s = 0; s < base_.numSwitches(); ++s)
+        for (int p : base_.up(s))
+            out.addLink(remap(s), remap(p));
+    return out;
+}
+
+FoldedClos
+ExpansionPlan::unionTopology() const
+{
+    FoldedClos out = preStaged();
+    // Every staged link has a brand-new endpoint in its step, and each
+    // (new switch, direction) adjacency set is filled by exactly one
+    // stage, so no staged link duplicates a base link or another
+    // stage's addition: the union is a simple wiring.
+    for (const ExpansionStage &st : stages_) {
+        for (const RewireOp &op : st.ops) {
+            out.addLink(op.added_up.lower, op.added_up.upper);
+            out.addLink(op.added_down.lower, op.added_down.upper);
+        }
+    }
+    return out;
+}
+
+void
+ExpansionPlan::applyStage(FoldedClos &fc, const ExpansionStage &st) const
+{
+    for (const RewireOp &op : st.ops) {
+        if (!fc.removeLink(op.removed.lower, op.removed.upper))
+            throw std::logic_error(
+                "ExpansionPlan: removed link not present (stages must "
+                "be applied in order, starting from preStaged())");
+        fc.addLink(op.added_up.lower, op.added_up.upper);
+        fc.addLink(op.added_down.lower, op.added_down.upper);
+    }
+}
+
+void
+ExpansionPlan::applyAll(FoldedClos &fc) const
+{
+    for (const ExpansionStage &st : stages_)
+        applyStage(fc, st);
+}
+
+TopologyTimeline
+ExpansionPlan::liveTimeline(long long start, long long step_spacing,
+                            long long activate_delay) const
+{
+    if (start < 0 || step_spacing < 0 || activate_delay < 0)
+        throw std::invalid_argument(
+            "ExpansionPlan::liveTimeline: cycles must be >= 0");
+    TopologyTimeline tl;
+    std::size_t si = 0;
+    for (int k = 0; k < steps_; ++k) {
+        const long long cycle = start + step_spacing * k;
+        for (int s : new_switches_[static_cast<std::size_t>(k)])
+            tl.addSwitch(cycle, s);
+        for (; si < stages_.size() && stages_[si].step == k; ++si) {
+            for (const RewireOp &op : stages_[si].ops) {
+                tl.detach(cycle, op.removed.lower, op.removed.upper);
+                tl.attach(cycle, op.added_up.lower, op.added_up.upper);
+                tl.attach(cycle, op.added_down.lower,
+                          op.added_down.upper);
+            }
+        }
+        tl.activateTerminals(cycle + activate_delay,
+                             activeTerminalsAfter(k));
+    }
+    return tl;
+}
+
+// ======================================================================
+// MorphPlan
+// ======================================================================
+
+MorphPlan
+planMorph(const FoldedClos &from, const FoldedClos &to)
+{
+    if (from.levels() != to.levels())
+        throw std::invalid_argument("planMorph: level counts differ");
+    if (from.radix() != to.radix() ||
+        from.terminalsPerLeaf() != to.terminalsPerLeaf())
+        throw std::invalid_argument(
+            "planMorph: radix / terminals-per-leaf differ");
+    for (int lv = 1; lv <= from.levels(); ++lv)
+        if (to.switchesAtLevel(lv) < from.switchesAtLevel(lv))
+            throw std::invalid_argument(
+                "planMorph: target level " + std::to_string(lv) +
+                " is smaller than the source");
+
+    auto remap = [&](int s) {
+        int lv = from.levelOf(s);
+        return to.levelOffset(lv) + (s - from.levelOffset(lv));
+    };
+    auto link_key = [](const ClosLink &l) {
+        return std::pair<int, int>(l.lower, l.upper);
+    };
+
+    std::vector<ClosLink> from_links;
+    for (int s = 0; s < from.numSwitches(); ++s)
+        for (int p : from.up(s))
+            from_links.push_back({remap(s), remap(p)});
+    std::vector<ClosLink> to_links = to.links();
+
+    auto by_key = [&](const ClosLink &a, const ClosLink &b) {
+        return link_key(a) < link_key(b);
+    };
+    std::sort(from_links.begin(), from_links.end(), by_key);
+    std::sort(to_links.begin(), to_links.end(), by_key);
+
+    MorphPlan plan;
+    std::set_difference(from_links.begin(), from_links.end(),
+                        to_links.begin(), to_links.end(),
+                        std::back_inserter(plan.detach), by_key);
+    std::set_difference(to_links.begin(), to_links.end(),
+                        from_links.begin(), from_links.end(),
+                        std::back_inserter(plan.attach), by_key);
+    plan.from_terminals = from.numTerminals();
+    plan.to_terminals = to.numTerminals();
+
+    std::vector<int> counts(static_cast<std::size_t>(to.levels()));
+    for (int lv = 1; lv <= to.levels(); ++lv)
+        counts[static_cast<std::size_t>(lv - 1)] =
+            to.switchesAtLevel(lv);
+    plan.union_topology = FoldedClos(counts, to.radix(),
+                                     to.terminalsPerLeaf(), to.name());
+    for (const ClosLink &l : from_links)
+        plan.union_topology.addLink(l.lower, l.upper);
+    for (const ClosLink &l : plan.attach)
+        plan.union_topology.addLink(l.lower, l.upper);
+    return plan;
+}
+
+TopologyTimeline
+MorphPlan::liveTimeline(long long cycle, long long activate_delay) const
+{
+    if (cycle < 0 || activate_delay < 0)
+        throw std::invalid_argument(
+            "MorphPlan::liveTimeline: cycles must be >= 0");
+    TopologyTimeline tl;
+    // Commissioned switches: wired solely by attach events, i.e. they
+    // touch a staged link but no from-link.  Union links split exactly
+    // into from-links and staged links, so mark endpoints of each set.
+    const std::size_t nsw =
+        static_cast<std::size_t>(union_topology.numSwitches());
+    std::vector<std::uint8_t> staged_end(nsw, 0), from_end(nsw, 0);
+    for (const ClosLink &l : attach) {
+        staged_end[static_cast<std::size_t>(l.lower)] = 1;
+        staged_end[static_cast<std::size_t>(l.upper)] = 1;
+    }
+    std::vector<ClosLink> sorted_attach = attach;
+    auto by_key = [](const ClosLink &a, const ClosLink &b) {
+        return std::pair<int, int>(a.lower, a.upper) <
+               std::pair<int, int>(b.lower, b.upper);
+    };
+    std::sort(sorted_attach.begin(), sorted_attach.end(), by_key);
+    for (const ClosLink &l : union_topology.links()) {
+        if (std::binary_search(sorted_attach.begin(), sorted_attach.end(),
+                               l, by_key))
+            continue;
+        from_end[static_cast<std::size_t>(l.lower)] = 1;
+        from_end[static_cast<std::size_t>(l.upper)] = 1;
+    }
+    for (std::size_t s = 0; s < nsw; ++s)
+        if (staged_end[s] && !from_end[s])
+            tl.addSwitch(cycle, static_cast<int>(s));
+    for (const ClosLink &l : detach)
+        tl.detach(cycle, l.lower, l.upper);
+    for (const ClosLink &l : attach)
+        tl.attach(cycle, l.lower, l.upper);
+    if (to_terminals > from_terminals)
+        tl.activateTerminals(cycle + activate_delay, to_terminals);
+    return tl;
 }
 
 } // namespace rfc

@@ -115,6 +115,18 @@ struct FaultEvent
  * thread count).  Events are kept sorted by cycle with insertion order
  * as the tie-break; application order within a cycle is therefore part
  * of the timeline definition, not of the execution.
+ *
+ * Edge semantics, pinned by test_fault_timeline:
+ *
+ *  - An event at cycle c applies at the *start* of cycle c, before any
+ *    packet generation, routing or movement of that cycle.  Cycle-0
+ *    events therefore describe the initial link state: a run with
+ *    fail(0, ...) events is bit-identical to a run whose oracle was
+ *    built on a pre-masked overlay.
+ *  - Multiple events on the same cycle apply back-to-back inside one
+ *    barrier, in insertion order.  fail(c, l) inserted before
+ *    repair(c, l) nets to a live link, the reverse insertion leaves it
+ *    dead; in-flight traffic never observes the intermediate states.
  */
 class FaultTimeline
 {

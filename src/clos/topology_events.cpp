@@ -1,0 +1,60 @@
+#include "clos/topology_events.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfc {
+
+TopologyTimeline &
+TopologyTimeline::add(TopologyEvent ev)
+{
+    if (ev.cycle < 0)
+        throw std::invalid_argument(
+            "TopologyTimeline: cycle must be >= 0");
+    if (ev.op == TopoOp::kActivateTerminals && ev.count < 0)
+        throw std::invalid_argument(
+            "TopologyTimeline: terminal count must be >= 0");
+    // Stable insert: events of the same cycle keep insertion order.
+    auto it = std::upper_bound(
+        events_.begin(), events_.end(), ev.cycle,
+        [](long long c, const TopologyEvent &e) { return c < e.cycle; });
+    events_.insert(it, ev);
+    return *this;
+}
+
+TopologyTimeline
+TopologyTimeline::fromFaults(const FaultTimeline &faults)
+{
+    TopologyTimeline tl;
+    for (const FaultEvent &e : faults.events())
+        tl.add({e.cycle, e.fail ? TopoOp::kFail : TopoOp::kRepair,
+                e.lower, e.upper, 0});
+    return tl;
+}
+
+std::vector<ClosLink>
+TopologyTimeline::initialDead() const
+{
+    std::vector<ClosLink> out;
+    for (const TopologyEvent &e : events_)
+        if (e.op == TopoOp::kAttach)
+            out.push_back({e.lower, e.upper});
+    return out;
+}
+
+long long
+TopologyTimeline::firstDisruptionCycle() const
+{
+    for (const TopologyEvent &e : events_)
+        if (e.op == TopoOp::kFail || e.op == TopoOp::kDetach)
+            return e.cycle;
+    return -1;
+}
+
+long long
+TopologyTimeline::lastEventCycle() const
+{
+    return events_.empty() ? -1 : events_.back().cycle;
+}
+
+} // namespace rfc

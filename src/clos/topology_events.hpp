@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Scheduled topology-change events: the generalization of the fault
+ * pipeline (clos/faults.hpp) from link fail/repair to *growth*.
+ *
+ * The paper's strong-expandability claim (Section 5, Figure 7) is an
+ * offline statement: an RFC grows by rewiring only O(R * l) links.
+ * This module makes it a runtime statement.  A TopologyTimeline
+ * schedules expansion events - staged links detaching and attaching,
+ * switches being commissioned, new terminals passing their activation
+ * barrier - against a *union* topology that already contains every
+ * link any stage will ever add (staged links simply start dead in the
+ * LinkFaultState overlay).  The engine applies the events at its
+ * existing cycle-hook barrier while packets fly, exactly like fault
+ * events, and the up/down oracle extends itself incrementally
+ * (UpDownOracle::applyTopologyEvent).
+ *
+ * Event semantics (the attach/repair distinction matters):
+ *
+ *  - kFail / kRepair: a live link dies / a *previously failed* link
+ *    comes back.  Identical runtime behavior to FaultEvent; kept
+ *    distinct so fault and expansion traffic separate in the counters.
+ *  - kDetach / kAttach: one rewire half.  An attached link is *staged*:
+ *    it must exist in the bound topology and starts dead (see
+ *    initialDead()), coming alive only when its attach event fires.  A
+ *    detached link was alive and never comes back by itself.
+ *  - kAddSwitch: commissioning marker for a pre-staged switch (its
+ *    links are all staged, so the switch is invisible to routing until
+ *    they attach); pure accounting, no overlay change.
+ *  - kActivateTerminals: raises the engine's active-terminal count to
+ *    `count` (an absolute total).  Terminals activate as a contiguous
+ *    prefix and begin injecting a deterministic stagger after the
+ *    barrier; they never deactivate.
+ *
+ * Ordering contract (shared with FaultTimeline, see clos/faults.hpp):
+ * events are kept sorted by cycle with insertion order as the
+ * tie-break, and the engine applies all events of a cycle in that
+ * order inside one barrier, before any traffic of that cycle moves.
+ */
+#ifndef RFC_CLOS_TOPOLOGY_EVENTS_HPP
+#define RFC_CLOS_TOPOLOGY_EVENTS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "clos/faults.hpp"
+#include "clos/folded_clos.hpp"
+
+namespace rfc {
+
+/** Kind of one scheduled topology change. */
+enum class TopoOp : std::uint8_t
+{
+    kFail,               //!< live link dies (fault)
+    kRepair,             //!< previously failed link comes back
+    kDetach,             //!< rewire: link leaves the topology for good
+    kAttach,             //!< rewire: staged (initially dead) link goes live
+    kAddSwitch,          //!< pre-staged switch commissioned (accounting)
+    kActivateTerminals,  //!< active-terminal count raised to `count`
+};
+
+/** One scheduled runtime topology event. */
+struct TopologyEvent
+{
+    long long cycle = 0;      //!< simulation cycle the event fires at
+    TopoOp op = TopoOp::kFail;
+    std::int32_t lower = -1;  //!< link endpoint / kAddSwitch switch id
+    std::int32_t upper = -1;  //!< link endpoint (level i+1)
+    long long count = 0;      //!< kActivateTerminals: new absolute total
+};
+
+/**
+ * Deterministic schedule of topology-change events, applied by the
+ * engine at cycle barriers.  Same ordering contract as FaultTimeline:
+ * sorted by cycle, insertion order breaks ties, and that order is part
+ * of the timeline definition - results are bit-identical at any
+ * `--jobs` / `--sim-jobs` value.
+ */
+class TopologyTimeline
+{
+  public:
+    TopologyTimeline() = default;
+
+    /** Schedule one event (stable insert, sorted by cycle). */
+    TopologyTimeline &add(TopologyEvent ev);
+
+    TopologyTimeline &
+    fail(long long cycle, int lower, int upper)
+    {
+        return add({cycle, TopoOp::kFail, lower, upper, 0});
+    }
+
+    TopologyTimeline &
+    repair(long long cycle, int lower, int upper)
+    {
+        return add({cycle, TopoOp::kRepair, lower, upper, 0});
+    }
+
+    TopologyTimeline &
+    detach(long long cycle, int lower, int upper)
+    {
+        return add({cycle, TopoOp::kDetach, lower, upper, 0});
+    }
+
+    TopologyTimeline &
+    attach(long long cycle, int lower, int upper)
+    {
+        return add({cycle, TopoOp::kAttach, lower, upper, 0});
+    }
+
+    TopologyTimeline &
+    addSwitch(long long cycle, int switch_id)
+    {
+        return add({cycle, TopoOp::kAddSwitch, switch_id, -1, 0});
+    }
+
+    /** Raise the active-terminal total to @p total at @p cycle. */
+    TopologyTimeline &
+    activateTerminals(long long cycle, long long total)
+    {
+        return add({cycle, TopoOp::kActivateTerminals, -1, -1, total});
+    }
+
+    /**
+     * Lift a link fail/repair schedule into the generalized pipeline.
+     * Event-for-event equivalent: the runtime applies the converted
+     * timeline through the same setLink/applyLinkEvent sequence the
+     * fault path used, so fault-only runs stay bit-identical.
+     */
+    static TopologyTimeline fromFaults(const FaultTimeline &faults);
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    /** All events, sorted by (cycle, insertion order). */
+    const std::vector<TopologyEvent> &events() const { return events_; }
+
+    /**
+     * Every staged link: the (lower, upper) pair of each kAttach
+     * event, in event order.  These links must exist in the bound
+     * topology and start *dead* in the overlay before the run; the
+     * runtime applies exactly this list at construction.
+     */
+    std::vector<ClosLink> initialDead() const;
+
+    /**
+     * Cycle of the first service-disrupting event (kFail or kDetach),
+     * or -1 when none - the recovery-analysis anchor generalizing
+     * FaultTimeline::firstFailCycle().
+     */
+    long long firstDisruptionCycle() const;
+
+    /** Cycle of the last event of any kind, or -1 when empty. */
+    long long lastEventCycle() const;
+
+  private:
+    std::vector<TopologyEvent> events_;
+};
+
+} // namespace rfc
+
+#endif // RFC_CLOS_TOPOLOGY_EVENTS_HPP

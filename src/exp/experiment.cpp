@@ -201,7 +201,13 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
 
         auto traffic = spec.traffic();
         auto start = std::chrono::steady_clock::now();
-        if (spec.timeline) {
+        if (spec.topo_timeline) {
+            // Live topology-change trial (expansion drill): the bound
+            // topology is the union fabric, staged links start dead.
+            Simulator sim(*spec.topology, *traffic, cfg,
+                          *spec.topo_timeline, spec.policy);
+            trial_results[t] = sim.run();
+        } else if (spec.timeline) {
             // Fault-injection trial: the simulator owns a private
             // overlay + incrementally repaired oracle.
             Simulator sim(*spec.topology, *traffic, cfg,
@@ -219,12 +225,16 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
     std::vector<PointResult> out(n_points);
     for (std::size_t p = 0; p < n_points; ++p) {
         RunningStat acc, lat, p50, p99, hops, del, gen, sup, unr;
-        RunningStat drp, rer, ret, ttr, dip;
+        RunningStat drp, rer, ret, ttr, dip, bar;
         const TrialSpec &spec = pts[p];
         const bool recovery =
-            spec.timeline && spec.config.telemetry_bin > 0;
+            (spec.timeline || spec.topo_timeline) &&
+            spec.config.telemetry_bin > 0;
         const long long fail_cycle =
-            recovery ? spec.timeline->firstFailCycle() : -1;
+            !recovery ? -1
+            : spec.topo_timeline
+                ? spec.topo_timeline->firstDisruptionCycle()
+                : spec.timeline->firstFailCycle();
         const long long total_cycles =
             spec.config.warmup + spec.config.measure;
         PointResult &pr = out[p];
@@ -258,6 +268,14 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
             drp.add(static_cast<double>(r.dropped_packets));
             rer.add(static_cast<double>(r.rerouted_packets));
             ret.add(static_cast<double>(r.route_retries));
+            if (r.expansion.active) {
+                // Timeline-determined counters are identical across
+                // reps; rep 0 stands for the point.
+                if (rep == 0)
+                    pr.expansion = r.expansion;
+                bar.add(static_cast<double>(
+                    r.expansion.barrier_inflight_max));
+            }
             if (recovery) {
                 RecoveryStats rec = computeRecovery(
                     r.delivered_bins, r.telemetry_bin, total_cycles,
@@ -295,6 +313,8 @@ ExperimentEngine::runPoints(const std::vector<TrialSpec> &pts,
             pr.time_to_reconverge = toMetricStat(ttr);
             pr.dip_fraction = toMetricStat(dip);
         }
+        if (pr.expansion.active)
+            pr.barrier_inflight = toMetricStat(bar);
     }
     return out;
 }
@@ -405,6 +425,29 @@ writePointsJson(std::ostream &os, const std::vector<PointResult> &points,
             for (double b : p.delivered_bins_mean)
                 w.value(b);
             w.endArray();
+            w.endObject();
+        }
+        if (p.expansion.active) {
+            // Live topology-change accounting: all bit-stable (event
+            // application is barrier-ordered), so the object takes
+            // part in determinism diffs.
+            w.key("expansion");
+            w.beginObject();
+            w.kv("links_failed",
+                 static_cast<std::int64_t>(p.expansion.links_failed));
+            w.kv("links_repaired",
+                 static_cast<std::int64_t>(p.expansion.links_repaired));
+            w.kv("links_detached",
+                 static_cast<std::int64_t>(p.expansion.links_detached));
+            w.kv("links_attached",
+                 static_cast<std::int64_t>(p.expansion.links_attached));
+            w.kv("switches_added",
+                 static_cast<std::int64_t>(p.expansion.switches_added));
+            w.kv("terminals_activated",
+                 static_cast<std::int64_t>(
+                     p.expansion.terminals_activated));
+            writeMetric(w, "barrier_inflight_max", p.barrier_inflight,
+                        p.reps);
             w.endObject();
         }
         // Structure sizes are bit-stable (they depend on the topology

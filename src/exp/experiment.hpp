@@ -70,6 +70,15 @@ struct TrialSpec
      * ignored and may stay null).  Shared read-only across trials.
      */
     const FaultTimeline *timeline = nullptr;
+
+    /**
+     * Optional live topology-change schedule (expansion drills):
+     * `topology` must be the matching *union* topology and takes
+     * precedence over `timeline` when both are set.  Recovery
+     * telemetry is keyed off firstDisruptionCycle() instead of the
+     * first fail.  Shared read-only across trials.
+     */
+    const TopologyTimeline *topo_timeline = nullptr;
 };
 
 /** Mean / spread snapshot of one metric over the reps of a point. */
@@ -109,6 +118,17 @@ struct PointResult
      * Bit-stable (0 on a healthy build) and part of determinism diffs.
      */
     long long conservation_violations = 0;
+
+    /**
+     * Live topology-change counters (expansion.active when the point
+     * ran a timeline).  The timeline-determined fields are identical
+     * across reps by construction (events fire at fixed cycles in a
+     * fixed order), so rep 0's counters stand for the point; the
+     * per-rep barrier in-flight census varies with traffic and is
+     * aggregated separately below.  All bit-stable.
+     */
+    ExpansionCounters expansion;
+    MetricStat barrier_inflight;  //!< in-flight packets at change barriers
 
     // ---- fault-recovery aggregates ------------------------------
     // Populated when the point's trials carried a FaultTimeline and

@@ -135,6 +135,23 @@ UpDownOracle::applyLinkEvent(const FoldedClos &fc, int lower, int upper)
     }
 }
 
+void
+UpDownOracle::applyTopologyEvent(const FoldedClos &fc,
+                                 const TopologyEvent &ev)
+{
+    switch (ev.op) {
+    case TopoOp::kFail:
+    case TopoOp::kRepair:
+    case TopoOp::kDetach:
+    case TopoOp::kAttach:
+        applyLinkEvent(fc, ev.lower, ev.upper);
+        break;
+    case TopoOp::kAddSwitch:
+    case TopoOp::kActivateTerminals:
+        break;
+    }
+}
+
 bool
 UpDownOracle::sameTables(const UpDownOracle &o) const
 {

@@ -32,6 +32,7 @@
 
 #include "clos/faults.hpp"
 #include "clos/folded_clos.hpp"
+#include "clos/topology_events.hpp"
 #include "util/bitset.hpp"
 #include "util/rng.hpp"
 
@@ -67,6 +68,19 @@ class UpDownOracle
      * fresh build() against the same overlay.
      */
     void applyLinkEvent(const FoldedClos &fc, int lower, int upper);
+
+    /**
+     * Generalized incremental repair: dispatch one topology-change
+     * event.  All four link-state ops (fail / repair / detach /
+     * attach) reduce to applyLinkEvent() on the flipped link - the
+     * tables only care about the overlay's alive set, not why it
+     * changed.  kAddSwitch and kActivateTerminals do not alter link
+     * state and are no-ops here (pre-staged switches are already
+     * present in @p fc with all-dead links, so their table rows exist
+     * and fill in as their links attach).
+     */
+    void applyTopologyEvent(const FoldedClos &fc,
+                            const TopologyEvent &ev);
 
     /** Exact table equality (the incremental-repair cross-check). */
     bool sameTables(const UpDownOracle &o) const;

@@ -134,16 +134,30 @@ struct SimConfig
     bool fault_crosscheck = false;
 
     /**
+     * Activation barrier for live expansion: number of terminals (a
+     * contiguous prefix [0, n)) that inject traffic from cycle 0.  -1
+     * (default) activates every terminal, which is exactly the
+     * historical behavior - golden baselines are unaffected.  A
+     * TopologyTimeline kActivateTerminals event raises the count at a
+     * cycle barrier; inactive terminals generate nothing, hold no
+     * source-queue packets, and are excluded from destination draws of
+     * prefix-aware traffic patterns.  Never exceeds the terminal
+     * count; gating requires >= 1 active terminal and is incompatible
+     * with a closed-loop workload.
+     */
+    long long active_terminals = -1;
+
+    /**
      * Throw std::invalid_argument on any parameter a simulation cannot
      * run with: vcs or buf_packets or pkt_phits < 1, negative link
      * latency, empty measurement window (measure < 1, which is also
      * what a "warmup >= total cycles" misconfiguration reduces to),
      * negative warmup, load outside [0, 1], source_queue < 1, negative
      * shard count, a ugal_threshold that is negative or not finite
-     * (NaN/inf), a negative flowlet_gap, or sharded mode with
+     * (NaN/inf), a negative flowlet_gap, sharded mode with
      * link_latency < 1 (cross-shard arrivals are exchanged at
      * end-of-cycle barriers, so a zero latency link cannot be modeled
-     * there).
+     * there), or an active_terminals value other than -1 or >= 1.
      */
     void validate() const;
 };
@@ -226,6 +240,30 @@ struct WorkloadMetrics
     long long eject_mismatch = 0;
 };
 
+/**
+ * Accounting of live topology changes (faults and expansion events)
+ * applied during a run.  All fields are deterministic - events fire at
+ * cycle barriers in timeline order - and active == false (all zeros)
+ * unless a TopologyTimeline drove the run.
+ */
+struct ExpansionCounters
+{
+    bool active = false;
+    long long links_failed = 0;     //!< kFail events applied
+    long long links_repaired = 0;   //!< kRepair events applied
+    long long links_detached = 0;   //!< rewire halves: links removed
+    long long links_attached = 0;   //!< rewire halves: staged links live
+    long long switches_added = 0;   //!< commissioning markers
+    long long terminals_activated = 0;  //!< terminals past the barrier
+    /**
+     * Largest number of packets that were in flight inside the fabric
+     * at any topology-change barrier: the live traffic the change had
+     * to be transparent to (feeds the conservation argument - none of
+     * these packets may vanish).
+     */
+    long long barrier_inflight_max = 0;
+};
+
 /** Aggregated measurement results. */
 struct SimResult
 {
@@ -259,6 +297,7 @@ struct SimResult
 
     PerfCounters perf;         //!< engine counters for this run
     WorkloadMetrics workload;  //!< closed-loop metrics (inactive default)
+    ExpansionCounters expansion;  //!< live topology-change accounting
 };
 
 } // namespace rfc

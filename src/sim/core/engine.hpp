@@ -262,6 +262,59 @@ class VctEngine
         }
     }
 
+    /**
+     * Raise the active-terminal prefix to min(@p upto, terminal
+     * count) at cycle @p now - the expansion activation barrier.  Must
+     * be called from cycle-hook context (every worker parked), i.e.
+     * from the hook installed with setCycleHook(); it mutates
+     * generation state all shards read.  Newly active terminals start
+     * generating from a deterministic stagger (no RNG draws, so the
+     * pre-existing terminals' streams are untouched).  Never
+     * deactivates; excess calls are no-ops.  Incompatible with a
+     * closed-loop workload.
+     */
+    void
+    activateTerminals(long long upto, long long now)
+    {
+        if (wl_ != nullptr)
+            throw std::logic_error(
+                "VctEngine: terminal activation is open-loop only");
+        const long long target = std::min(upto, lay_.num_terms);
+        if (target <= active_terms_)
+            return;
+        for (long long t = active_terms_; t < target; ++t) {
+            // Deterministic stagger over one packet time, starting
+            // next cycle (the hook runs before this cycle's
+            // generation pass; +1 keeps activation effects strictly
+            // after the barrier).
+            const long long start = now + 1 + (t % cfg_.pkt_phits);
+            next_gen_[t] = start;
+            ShardCtx &c = shards_[sw_shard_[lay_.term_switch[t]]];
+            c.gen_wheel[start % kGenWheel].push_back(
+                static_cast<std::int32_t>(t));
+        }
+        active_terms_ = target;
+        traffic_.setActiveTerminals(active_terms_);
+    }
+
+    /** Current active-terminal prefix length. */
+    long long activeTerminals() const { return active_terms_; }
+
+    /**
+     * Packets currently inside the fabric (allocated and not freed),
+     * summed over shards.  Safe from cycle-hook context; used to
+     * account the traffic a topology-change barrier must preserve.
+     */
+    long long
+    inFlightNow() const
+    {
+        long long n = 0;
+        for (const ShardCtx &c : shards_)
+            n += static_cast<long long>(c.arena.size()) -
+                 static_cast<long long>(c.free_pkts.size());
+        return n;
+    }
+
     /** Guard results (empty unless built with RFC_CHECK_INVARIANTS). */
     const CheckContext &checkContext() const { return check_; }
 
@@ -627,6 +680,9 @@ class VctEngine
     std::vector<std::int16_t> sq_head_, sq_count_;
     std::vector<std::int64_t> next_gen_;
     std::vector<std::uint8_t> inj_scheduled_;
+    /** Active prefix [0, active_terms_): only these generate traffic
+     *  (== num_terms unless gated; raised by activateTerminals()). */
+    long long active_terms_ = 0;
 
     // ---- arbitration scratch ---------------------------------------
     // Legacy indexes by local out port; sharded by global out gid.
@@ -724,6 +780,9 @@ VctEngine<Policy>::buildStructures()
     sq_count_.assign(lay_.num_terms, 0);
     next_gen_.assign(lay_.num_terms, 0);
     inj_scheduled_.assign(lay_.num_terms, 0);
+    active_terms_ = cfg_.active_terminals < 0
+                        ? lay_.num_terms
+                        : std::min(cfg_.active_terminals, lay_.num_terms);
 
     wheel_size_ = cfg_.pkt_phits + cfg_.link_latency + 2;
 
@@ -1508,10 +1567,19 @@ VctEngine<Policy>::guardScanGlobal(long long now)
                             " != cap " + std::to_string(cap));
             }
         }
-        // Injection credits against the terminal in-port VCs.
+        // Injection credits against the terminal in-port VCs; a
+        // terminal still behind its activation barrier must never
+        // hold a queued packet.
         for (long long t = 0; t < lay_.num_terms; ++t) {
             std::int64_t iport = lay_.term_iport[t];
             int sw = lay_.term_switch[t];
+            check_.countChecks();
+            if (t >= active_terms_ && sq_count_[t] != 0)
+                check_.report("inactive-terminal-queued", now, sw, -1,
+                              "terminal " + std::to_string(t) +
+                                  " holds " +
+                                  std::to_string(sq_count_[t]) +
+                                  " packets before activation");
             for (int v = 0; v < V; ++v) {
                 int cr = inj_credits_[t * V + v];
                 check_.countChecks();
@@ -1620,8 +1688,10 @@ VctEngine<Policy>::runLegacy(long long total)
     // Stagger initial generation times uniformly over one packet time
     // to avoid a synchronized burst at cycle 0 (open-loop only: with a
     // workload attached the engine never generates traffic itself).
+    // Only the active prefix draws; ungated runs have active_terms_ ==
+    // num_terms, so the draw sequence matches the golden baselines.
     for (long long t = 0; wl_ == nullptr && cfg_.load > 0.0 &&
-                          t < lay_.num_terms;
+                          t < active_terms_;
          ++t) {
         long long start = static_cast<long long>(
             c.rng.uniform(static_cast<std::uint64_t>(cfg_.pkt_phits)));
@@ -1692,8 +1762,9 @@ VctEngine<Policy>::runSharded(long long total)
     // shard's terminals depend only on that shard's RNG stream
     // (open-loop only; a workload drives all generation itself).
     for (ShardCtx &c : shards_) {
+        const long long gen_end = std::min(c.term_end, active_terms_);
         for (long long t = c.term_begin;
-             wl_ == nullptr && cfg_.load > 0.0 && t < c.term_end; ++t) {
+             wl_ == nullptr && cfg_.load > 0.0 && t < gen_end; ++t) {
             long long start = static_cast<long long>(c.rng.uniform(
                 static_cast<std::uint64_t>(cfg_.pkt_phits)));
             next_gen_[t] = start;
@@ -1924,6 +1995,13 @@ VctEngine<Policy>::run()
     // The traffic pattern is initialized from the base seed in both
     // modes, so legacy and sharded runs see the same demand matrix.
     traffic_.init(lay_.num_terms, rng_);
+    if (active_terms_ < lay_.num_terms) {
+        if (wl_ != nullptr)
+            throw std::invalid_argument(
+                "VctEngine: active_terminals gating is open-loop only "
+                "(closed-loop workloads schedule every terminal)");
+        traffic_.setActiveTerminals(active_terms_);
+    }
     // Legacy mode continues drawing from the very stream that seeded
     // the traffic, exactly like the pre-refactor single-RNG loop.
     if (!sharded_)

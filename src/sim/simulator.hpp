@@ -37,6 +37,7 @@
 #include "check/guard.hpp"
 #include "clos/faults.hpp"
 #include "clos/folded_clos.hpp"
+#include "clos/topology_events.hpp"
 #include "routing/updown.hpp"
 #include "sim/core/config.hpp"
 #include "sim/core/engine.hpp"
@@ -93,8 +94,33 @@ class Simulator
               const FaultTimeline &timeline,
               ClosPolicy policy = ClosPolicy::kOblivious);
 
+    /**
+     * Live topology-change run, the generalization of the fault ctor:
+     * @p timeline may rewire links (detach/attach against staged links
+     * of the bound *union* topology), commission switches and raise
+     * the active-terminal barrier while packets fly.  Staged links
+     * (every kAttach target) start dead in the overlay; a gated run
+     * additionally sets config.active_terminals to the pre-expansion
+     * terminal count.  Events apply at cycle barriers in timeline
+     * order, the oracle extends incrementally
+     * (UpDownOracle::applyTopologyEvent, crosschecked when
+     * config.fault_crosscheck is set), and SimResult::expansion
+     * reports the applied-change counters.  @p fc, @p traffic must
+     * outlive the simulator; the timeline is copied.
+     */
+    Simulator(const FoldedClos &fc, Traffic &traffic, SimConfig config,
+              const TopologyTimeline &timeline,
+              ClosPolicy policy = ClosPolicy::kOblivious);
+
     /** Run warm-up plus measurement and return the metrics. */
-    SimResult run() { return engine_->run(); }
+    SimResult
+    run()
+    {
+        SimResult r = engine_->run();
+        if (runtime_)
+            r.expansion = runtime_->counters;
+        return r;
+    }
 
     /**
      * Attach a closed-loop workload (src/workload): the engine stops
@@ -119,26 +145,34 @@ class Simulator
     ClosPolicy policy() const { return policy_; }
 
     /**
-     * The simulator-owned oracle of a fault run (null for fault-free
-     * runs): after run() it reflects the end-of-timeline link state,
-     * which tests compare against a fresh rebuild.
+     * The simulator-owned oracle of a fault or topology-change run
+     * (null otherwise): after run() it reflects the end-of-timeline
+     * link state, which tests compare against a fresh rebuild.
      */
     const UpDownOracle *faultOracle() const;
 
   private:
-    /** Owned runtime state of a fault-injection run. */
-    struct FaultRuntime
+    struct EngineBase;
+
+    /** Owned runtime state of a fault or topology-change run. */
+    struct TopologyRuntime
     {
         const FoldedClos *fc;
-        FaultTimeline timeline;
+        TopologyTimeline timeline;
         LinkFaultState overlay;
         UpDownOracle oracle;   //!< mutable copy, bound to the overlay
         std::size_t next = 0;  //!< first unapplied timeline event
         bool crosscheck = false;
+        EngineBase *engine = nullptr;  //!< set once the engine exists
+        ExpansionCounters counters;
 
-        FaultRuntime(const FoldedClos &topo, const FaultTimeline &tl,
-                     bool check);
-        /** Apply every event scheduled for cycle @p now. */
+        /** Masks every staged (kAttach) link dead, then builds the
+         *  oracle; throws std::invalid_argument when a staged link is
+         *  absent from @p topo. */
+        TopologyRuntime(const FoldedClos &topo, TopologyTimeline tl,
+                        bool check);
+        /** Apply every event scheduled for cycle @p now (runs in
+         *  cycle-hook context: all workers parked). */
         void apply(long long now);
     };
 
@@ -155,6 +189,9 @@ class Simulator
         virtual void setWorkload(Workload *wl) = 0;
         virtual void setCycleHook(std::vector<long long> cycles,
                                   std::function<void(long long)> hook) = 0;
+        virtual void activateTerminals(long long upto, long long now) = 0;
+        virtual long long activeTerminals() const = 0;
+        virtual long long inFlightNow() const = 0;
         virtual const CheckContext &checkContext() const = 0;
     };
 
@@ -177,6 +214,17 @@ class Simulator
         {
             e.setCycleHook(std::move(cycles), std::move(hook));
         }
+        void
+        activateTerminals(long long upto, long long now) override
+        {
+            e.activateTerminals(upto, now);
+        }
+        long long
+        activeTerminals() const override
+        {
+            return e.activeTerminals();
+        }
+        long long inFlightNow() const override { return e.inFlightNow(); }
         const CheckContext &
         checkContext() const override
         {
@@ -188,8 +236,12 @@ class Simulator
     void makeEngine(const FoldedClos &fc, const UpDownOracle &oracle,
                     Traffic &traffic, const SimConfig &config);
 
+    /** Shared tail of the fault / topology-timeline ctors. */
+    void initTimeline(const FoldedClos &fc, Traffic &traffic,
+                      const SimConfig &config, TopologyTimeline timeline);
+
     FabricLayout layout_;  //!< must outlive engine_
-    std::unique_ptr<FaultRuntime> faults_;  //!< must outlive engine_
+    std::unique_ptr<TopologyRuntime> runtime_;  //!< must outlive engine_
     ClosPolicy policy_ = ClosPolicy::kOblivious;
     std::unique_ptr<EngineBase> engine_;
 };

@@ -9,14 +9,28 @@ void
 UniformTraffic::init(long long nodes, Rng &)
 {
     nodes_ = nodes;
+    active_ = nodes;
 }
 
 long long
 UniformTraffic::dest(long long src, Rng &rng)
 {
+    // Ungated runs have active_ == nodes_, so the draw below is the
+    // historical uniform(nodes_ - 1): golden baselines are preserved
+    // bit for bit.  Gated runs draw from the active prefix only
+    // (sources are always active, so src < active_ here).
     auto d = static_cast<long long>(
-        rng.uniform(static_cast<std::uint64_t>(nodes_ - 1)));
+        rng.uniform(static_cast<std::uint64_t>(active_ - 1)));
     return d >= src ? d + 1 : d;
+}
+
+void
+UniformTraffic::setActiveTerminals(long long n)
+{
+    if (n < 1 || (nodes_ > 0 && n > nodes_))
+        throw std::invalid_argument(
+            "UniformTraffic: active prefix out of range");
+    active_ = n;
 }
 
 void

@@ -40,6 +40,18 @@ class Traffic
 
     /** Pattern name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Live expansion support: restrict destinations to the active
+     * prefix [0, n) of the terminals (n grows as activation barriers
+     * fire, never past the init() count).  Default: ignored - fixed
+     * assignments (pairing, permutation, fixed-random) are drawn over
+     * the full terminal set at init() and would need re-randomization
+     * to honor a prefix, which would break their "fixed" semantics.
+     * Prefix-aware patterns (uniform) override this so no packet ever
+     * targets a terminal that cannot yet source traffic.
+     */
+    virtual void setActiveTerminals(long long n) { (void)n; }
 };
 
 /** Fresh uniform destination per packet (excluding the source). */
@@ -50,8 +62,12 @@ class UniformTraffic : public Traffic
     long long dest(long long src, Rng &rng) override;
     std::string name() const override { return "uniform"; }
 
+    /** Draw destinations from the active prefix only. */
+    void setActiveTerminals(long long n) override;
+
   private:
     long long nodes_ = 0;
+    long long active_ = 0;  //!< destination pool size (== nodes_ ungated)
 };
 
 /** Random pairing: a random perfect matching of the nodes. */

@@ -6,6 +6,7 @@
 
 #include <set>
 
+#include "check/invariants.hpp"
 #include "clos/expansion.hpp"
 #include "clos/rfc.hpp"
 #include "routing/updown.hpp"
@@ -116,6 +117,149 @@ TEST(Expansion, RejectsSingleLevel)
     Rng rng(31);
     FoldedClos fc({4}, 8, 4, "flat");
     EXPECT_THROW(strongExpand(fc, 1, rng), std::invalid_argument);
+}
+
+// ======================================================================
+// ExpansionPlan: the staged decomposition of strongExpand
+// ======================================================================
+
+TEST(ExpansionPlan, MatchesOfflineStrongExpandDrawForDraw)
+{
+    // Same (base, steps, seed) must give the same expansion through
+    // both entry points: the plan's rewiring routine consumes the RNG
+    // exactly like strongExpand.
+    Rng build_rng(37);
+    auto base = buildRfcUnchecked(8, 3, 20, build_rng);
+    Rng a(41), b(41);
+    auto off = strongExpand(base, 3, a);
+    ExpansionPlan plan(base, 3, b);
+    EXPECT_TRUE(sameTopology(plan.finalTopology(), off.topology).ok);
+    EXPECT_EQ(plan.rewired(), off.rewired);
+    EXPECT_EQ(plan.addedTerminals(), off.added_terminals);
+    // The two generators must have advanced identically.
+    EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(ExpansionPlan, StagedReplayReachesTheFinalTopology)
+{
+    Rng build_rng(43);
+    auto base = buildRfcUnchecked(8, 3, 20, build_rng);
+    Rng rng(47);
+    ExpansionPlan plan(base, 2, rng);
+
+    FoldedClos live = plan.preStaged();
+    EXPECT_EQ(live.numSwitches(), plan.finalTopology().numSwitches());
+    EXPECT_EQ(live.numWires(), base.numWires());
+    plan.applyAll(live);
+    CheckResult same = sameTopology(live, plan.finalTopology());
+    EXPECT_TRUE(same.ok) << same.message;
+    EXPECT_TRUE(live.isRadixRegular());
+    EXPECT_TRUE(live.validate());
+
+    // Replaying again must fail loudly: the removed links are gone.
+    EXPECT_THROW(plan.applyAll(live), std::logic_error);
+}
+
+TEST(ExpansionPlan, UnionMinusDetachedLinksIsTheFinalTopology)
+{
+    // The union fabric is exactly final + the to-be-removed links: what
+    // a live run converges to once every detach event has applied.
+    Rng build_rng(53);
+    auto base = buildRfcUnchecked(8, 3, 20, build_rng);
+    Rng rng(59);
+    ExpansionPlan plan(base, 2, rng);
+
+    FoldedClos u = plan.unionTopology();
+    long long staged = 0;
+    for (const ExpansionStage &st : plan.stages())
+        staged += 2 * static_cast<long long>(st.ops.size());
+    EXPECT_EQ(u.numWires(), base.numWires() + staged);
+    for (const ExpansionStage &st : plan.stages())
+        for (const RewireOp &op : st.ops)
+            ASSERT_TRUE(u.removeLink(op.removed.lower, op.removed.upper));
+    CheckResult same = sameTopology(u, plan.finalTopology());
+    EXPECT_TRUE(same.ok) << same.message;
+}
+
+TEST(ExpansionPlan, KeepsRoutabilityBelowTheorem42Threshold)
+{
+    Rng rng(61);
+    int n1 = rfcMaxLeaves(12, 3) / 4;
+    if (n1 % 2)
+        --n1;
+    auto built = buildRfc(12, 3, n1, rng);
+    ASSERT_TRUE(built.routable);
+    ExpansionPlan plan(built.topology, 2, rng);
+    EXPECT_TRUE(plan.finalTopology().isRadixRegular());
+    UpDownOracle oracle(plan.finalTopology());
+    EXPECT_TRUE(oracle.routable());
+}
+
+TEST(ExpansionPlan, LiveTimelineSchedulesStepsInOrder)
+{
+    Rng build_rng(67);
+    auto base = buildRfcUnchecked(8, 3, 20, build_rng);
+    Rng rng(71);
+    ExpansionPlan plan(base, 2, rng);
+    TopologyTimeline tl = plan.liveTimeline(100, 50, 8);
+
+    // Per step: one commissioning marker per new switch (2 per level
+    // below the top, 1 at the top), a detach/attach/attach triplet per
+    // rewire, one activation barrier.
+    long long adds = 0, detaches = 0, attaches = 0, activates = 0;
+    for (const TopologyEvent &e : tl.events()) {
+        switch (e.op) {
+        case TopoOp::kAddSwitch: ++adds; break;
+        case TopoOp::kDetach: ++detaches; break;
+        case TopoOp::kAttach: ++attaches; break;
+        case TopoOp::kActivateTerminals: ++activates; break;
+        default: FAIL() << "unexpected op in expansion timeline";
+        }
+    }
+    EXPECT_EQ(adds, 2 * 5);  // 2 steps x (2 + 2 + 1) switches
+    EXPECT_EQ(detaches, plan.rewired());
+    EXPECT_EQ(attaches, 2 * plan.rewired());
+    EXPECT_EQ(activates, 2);
+    EXPECT_EQ(tl.initialDead().size(),
+              static_cast<std::size_t>(2 * plan.rewired()));
+    EXPECT_EQ(tl.firstDisruptionCycle(), 100);
+    EXPECT_EQ(tl.lastEventCycle(), 100 + 50 + 8);
+    EXPECT_EQ(plan.activeTerminalsAfter(plan.steps() - 1),
+              plan.baseTerminals() + plan.addedTerminals());
+    EXPECT_THROW(plan.liveTimeline(-1, 50, 8), std::invalid_argument);
+}
+
+TEST(ExpansionPlan, MorphOfBaseIntoFinalMatchesTheUnion)
+{
+    // planMorph is the generic morph; on (base, final) of a 1-step plan
+    // it must rediscover exactly the plan's rewires and union fabric.
+    Rng build_rng(73);
+    auto base = buildRfcUnchecked(8, 3, 20, build_rng);
+    Rng rng(79);
+    ExpansionPlan plan(base, 1, rng);
+    MorphPlan mp = planMorph(plan.base(), plan.finalTopology());
+    EXPECT_EQ(static_cast<long long>(mp.detach.size()), plan.rewired());
+    EXPECT_EQ(static_cast<long long>(mp.attach.size()),
+              2 * plan.rewired());
+    EXPECT_EQ(mp.to_terminals - mp.from_terminals,
+              plan.addedTerminals());
+    CheckResult same =
+        sameTopology(mp.union_topology, plan.unionTopology());
+    EXPECT_TRUE(same.ok) << same.message;
+}
+
+TEST(ExpansionPlan, MorphRejectsMisalignedTopologies)
+{
+    Rng rng(83);
+    auto small = buildRfcUnchecked(8, 3, 20, rng);
+    auto other_radix = buildRfcUnchecked(12, 3, 24, rng);
+    auto two_level = buildRfcUnchecked(8, 2, 20, rng);
+    ExpansionPlan plan(small, 1, rng);
+    EXPECT_THROW(planMorph(small, other_radix), std::invalid_argument);
+    EXPECT_THROW(planMorph(small, two_level), std::invalid_argument);
+    // Shrinking is not a morph: to must dominate per level.
+    EXPECT_THROW(planMorph(plan.finalTopology(), small),
+                 std::invalid_argument);
 }
 
 } // namespace

@@ -263,6 +263,64 @@ faultConfig()
     return cfg;
 }
 
+TEST(FaultSim, CycleZeroEventsApplyBeforeAnyTraffic)
+{
+    // A cycle-0 failure is initial state: the run must be bit-identical
+    // to one whose oracle was built on a pre-masked overlay (no
+    // timeline at all), proving the barrier fires before any packet of
+    // cycle 0 is generated or routed.
+    auto fc = buildCft(8, 2);
+    auto links = fc.links();
+    ASSERT_GE(links.size(), 3u);
+    FaultTimeline tl;
+    LinkFaultState overlay(fc);
+    for (std::size_t i = 0; i < 3; ++i) {
+        tl.fail(0, links[i].lower, links[i].upper);
+        ASSERT_TRUE(overlay.setLink(links[i].lower, links[i].upper, true));
+    }
+    SimConfig cfg = faultConfig();
+    auto timed = runFaultSim(fc, tl, cfg);
+
+    UpDownOracle premasked;
+    premasked.build(fc, &overlay);
+    UniformTraffic traffic;
+    Simulator sim(fc, premasked, traffic, cfg);
+    expectSameResult(timed, sim.run());
+}
+
+TEST(FaultSim, SameCycleEventsApplyInInsertionOrder)
+{
+    auto fc = buildCft(8, 2);
+    const auto l = fc.links().front();
+    SimConfig cfg = faultConfig();
+
+    // fail then repair on one cycle nets to a live link, and the whole
+    // barrier is invisible to traffic: bit-identical to no timeline.
+    FaultTimeline fail_first;
+    fail_first.fail(300, l.lower, l.upper).repair(300, l.lower, l.upper);
+    auto r = runFaultSim(fc, fail_first, cfg);
+    UpDownOracle pristine(fc);
+    UniformTraffic traffic;
+    Simulator plain(fc, pristine, traffic, cfg);
+    expectSameResult(r, plain.run());
+
+    // The reverse insertion order means repair-of-a-live-link (no-op)
+    // then fail: the link ends the run dead.
+    FaultTimeline repair_first;
+    repair_first.repair(300, l.lower, l.upper).fail(300, l.lower,
+                                                    l.upper);
+    UniformTraffic traffic2;
+    Simulator sim(fc, traffic2, cfg, repair_first);
+    sim.run();
+    ASSERT_NE(sim.faultOracle(), nullptr);
+    EXPECT_FALSE(sim.faultOracle()->sameTables(pristine));
+    LinkFaultState overlay(fc);
+    ASSERT_TRUE(overlay.setLink(l.lower, l.upper, true));
+    UpDownOracle dead;
+    dead.build(fc, &overlay);
+    EXPECT_TRUE(sim.faultOracle()->sameTables(dead));
+}
+
 TEST(FaultSim, BitIdenticalAcrossSimJobsWithTimeline)
 {
     auto fc = buildCft(8, 2);

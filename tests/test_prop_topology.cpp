@@ -80,6 +80,48 @@ TEST(PropTopology, ExpansionPreservesStructuralInvariants)
     EXPECT_TRUE(res.passed) << res.report();
 }
 
+TEST(PropTopology, StagedPlanReplaysOfflineExpansionInPlace)
+{
+    // ExpansionPlan shares strongExpand's rewiring routine draw for
+    // draw: for every generated base and seed, replaying the staged
+    // rewires in place (preStaged -> applyAll, the live-drill path)
+    // must land sameTopology-equal to the offline one-shot result and
+    // keep radix regularity.
+    PropConfig cfg;
+    cfg.cases = 20;
+    cfg.seed = 107;
+    cfg.max_size = 30;
+    auto res = forAll<TopoParams>(
+        cfg, kGenTopo,
+        [](const TopoParams &p) {
+            FoldedClos fc = materializeTopo(p);
+            int steps = 1 + static_cast<int>(p.wiring_seed % 2);
+            Rng a(deriveSeed(p.wiring_seed, 0x706c61ULL, 0));
+            Rng b(deriveSeed(p.wiring_seed, 0x706c61ULL, 0));
+            auto off = strongExpand(fc, steps, a);
+            ExpansionPlan plan(fc, steps, b);
+            CheckResult r =
+                sameTopology(plan.finalTopology(), off.topology);
+            if (!r.ok)
+                return r;
+            FoldedClos live = plan.preStaged();
+            plan.applyAll(live);
+            r = sameTopology(live, off.topology);
+            if (!r.ok)
+                return CheckResult::fail("staged replay diverged: " +
+                                         r.message);
+            if (!live.isRadixRegular())
+                return CheckResult::fail(
+                    "staged replay broke radix regularity");
+            if (plan.rewired() != off.rewired)
+                return CheckResult::fail("rewire count diverged");
+            return CheckResult::pass();
+        },
+        kShrinkTopo, kDescribeTopo);
+    EXPECT_TRUE(res.passed) << res.report();
+    EXPECT_EQ(res.cases_run, 20);
+}
+
 TEST(PropTopology, FaultedTopologiesKeepLevelStructureAndRoundTrip)
 {
     PropConfig cfg;

@@ -33,6 +33,7 @@
 
 #include "analysis/scalability.hpp"
 #include "check/prop.hpp"
+#include "clos/expansion.hpp"
 #include "clos/fat_tree.hpp"
 #include "clos/oft.hpp"
 #include "clos/projective.hpp"
@@ -221,6 +222,88 @@ TEST(ReprEquivalence, MutationsMatchSwapRemoveShadowModel)
         },
         kShrinkTopo, kDescribeTopo);
     EXPECT_TRUE(res.passed) << res.report();
+}
+
+TEST(ReprEquivalence, GrowSegmentRebuildMatchesShadowPastCapacity)
+{
+    // The CSR arrays reserve exactly the radix-regular capacity per
+    // segment (R/2 up links below the top, R down links at the top);
+    // the addLink past that capacity takes the rare growSegment rebuild
+    // path, which relocates the segment inside the arena.  Push one up
+    // segment and one down segment far past capacity - through several
+    // capacity doublings - interleaved with removes, and hold the
+    // element order byte-identical to the legacy-vector shadow.
+    Rng rng(607);
+    FoldedClos fc = buildRfcUnchecked(8, 3, 20, rng);
+    ShadowAdj shadow(fc.numSwitches());
+    for (int s = 0; s < fc.numSwitches(); ++s) {
+        for (int u : fc.up(s))
+            shadow.up[static_cast<std::size_t>(s)].push_back(u);
+        for (int d : fc.down(s))
+            shadow.down[static_cast<std::size_t>(s)].push_back(d);
+    }
+
+    const int lower = 0;                      // leaf: up capacity R/2
+    const int top = fc.levelOffset(3);        // root: down capacity R
+    const int parent = fc.up(lower)[0];
+    const int child = fc.down(top)[0];
+    for (int i = 0; i < 20; ++i) {
+        fc.addLink(lower, parent);            // grows lower's up segment
+        shadow.add(lower, parent);
+        fc.addLink(child, top);               // grows top's down segment
+        shadow.add(child, top);
+        if (i % 5 == 4) {
+            ASSERT_EQ(fc.removeLink(lower, parent),
+                      shadow.remove(lower, parent));
+            auto res = compareAdjacency(fc, shadow);
+            ASSERT_TRUE(res.ok) << res.message;
+        }
+    }
+    EXPECT_GE(fc.countLink(lower, parent), 16);
+    EXPECT_GT(fc.up(lower).size(), 4u);       // past the R/2 capacity
+    EXPECT_GT(fc.down(top).size(), 8u);       // past the R capacity
+    auto res = compareAdjacency(fc, shadow);
+    EXPECT_TRUE(res.ok) << res.message;
+    EXPECT_TRUE(fc.validate());
+}
+
+TEST(ReprEquivalence, UnionTopologyGrowSegmentMatchesShadow)
+{
+    // The production trigger of growSegment: ExpansionPlan's union
+    // fabric keeps every donor's removed link *and* its staged
+    // replacement, so donor switches briefly hold more than R/2 up
+    // links.  Replaying the union construction order against the
+    // legacy-vector shadow must stay byte-identical through the
+    // segment rebuilds.
+    Rng build_rng(608);
+    FoldedClos base = buildRfcUnchecked(8, 3, 20, build_rng);
+    Rng plan_rng(609);
+    ExpansionPlan plan(base, 2, plan_rng);
+    FoldedClos u = plan.unionTopology();
+
+    const FoldedClos &fin = plan.finalTopology();
+    ShadowAdj shadow(fin.numSwitches());
+    auto remap = [&](int s) {
+        int lv = base.levelOf(s);
+        return fin.levelOffset(lv) + (s - base.levelOffset(lv));
+    };
+    for (int s = 0; s < base.numSwitches(); ++s)
+        for (int p : base.up(s))
+            shadow.add(remap(s), remap(p));
+    for (const ExpansionStage &st : plan.stages())
+        for (const RewireOp &op : st.ops) {
+            shadow.add(op.added_up.lower, op.added_up.upper);
+            shadow.add(op.added_down.lower, op.added_down.upper);
+        }
+
+    bool grew = false;
+    for (int s = 0; s < u.numSwitches(); ++s)
+        if (u.levelOf(s) < u.levels() && u.up(s).size() > 4u)
+            grew = true;
+    EXPECT_TRUE(grew) << "no up segment exceeded its R/2 capacity; the "
+                         "union did not exercise growSegment";
+    auto res = compareAdjacency(u, shadow);
+    EXPECT_TRUE(res.ok) << res.message;
 }
 
 /** Dense vector-of-vector rebuild of the tables from the same oracle. */
